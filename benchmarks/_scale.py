@@ -1,0 +1,19 @@
+"""Benchmark scaling knob.
+
+Each benchmark regenerates one of the paper's tables/figures on a scaled-down
+input.  Virtual-time ratios (who wins, by how much) do not depend on the
+scale; only wall-clock does.  Set ``REPRO_BENCH_SCALE=1.0`` to run at the
+paper's nominal clip durations.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Scale factor applied to clip durations / dataset sizes (1.0 = paper-sized).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def scaled(value: float, minimum: float = 5.0) -> float:
+    """Scale a nominal duration (seconds) down for benchmark runs."""
+    return max(value * SCALE, minimum)

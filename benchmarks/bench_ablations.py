@@ -1,0 +1,50 @@
+"""Ablation benches: intrinsic reuse, DAG optimizations, registered
+optimizations (§4.4), and query-level reuse."""
+
+from _scale import scaled
+
+from repro.experiments import ablations
+
+
+def test_ablation_intrinsic_reuse(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_intrinsic_ablation(duration_s=scaled(180.0, minimum=30.0)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_report().to_text())
+    assert result.row("reuse on").total_ms < result.row("reuse off").total_ms
+    assert result.row("reuse on").f1_vs_reference > 0.9
+
+
+def test_ablation_planner_optimizations(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_planner_ablation(duration_s=scaled(180.0, minimum=30.0)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_report().to_text())
+    base = result.row("no pull-up, no fusion").total_ms
+    assert result.row("pull-up only").total_ms <= base
+    assert result.row("pull-up + fusion + reuse").total_ms < base
+
+
+def test_ablation_registered_extensions(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_extension_ablation(duration_s=scaled(180.0, minimum=30.0)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_report().to_text())
+    plain = result.row("general detector, no filters").total_ms
+    filtered = result.row("+ binary classifier frame filter").total_ms
+    assert filtered <= plain * 1.1  # the filter never makes it much worse
+
+
+def test_ablation_query_level_reuse(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_multiquery_ablation(duration_s=scaled(600.0, minimum=30.0)), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_report().to_text())
+    shared = result.row("executed in one pass (shared)").total_ms
+    individual = result.row("executed individually").total_ms
+    # The paper reports an overall 3.4x from combining Q1-Q5.
+    assert individual / shared > 2.0

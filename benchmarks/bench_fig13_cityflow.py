@@ -1,0 +1,29 @@
+"""Figure 13 / Table 1 — CVIP vs VQPy vs VQPy-with-annotation on CityFlow queries."""
+
+from _scale import scaled
+
+from repro.experiments import cityflow
+
+
+def run():
+    return cityflow.run_cityflow_experiment(
+        num_clips=4,
+        clip_seconds=scaled(60.0, minimum=15.0),
+        tracks_per_clip=5,
+        seed=0,
+    )
+
+
+def test_fig13_cityflow(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(cityflow.format_fig13a(result).to_text())
+    print()
+    print(cityflow.format_fig13b(result).to_text())
+
+    # Shape assertions mirroring the paper: VQPy beats CVIP on every query,
+    # intrinsic annotations add a large further speedup, CVIP is flat.
+    for row in result.per_query:
+        assert row.vqpy_speedup > 1.5
+        assert row.annotated_speedup > row.vqpy_speedup
+    assert max(r.cvip_s for r in result.per_query) / min(r.cvip_s for r in result.per_query) < 1.05

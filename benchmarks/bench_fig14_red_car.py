@@ -1,0 +1,26 @@
+"""Figure 14 — red-car query: VQPy vs EVA on the three Table-3 cameras."""
+
+from _scale import scaled
+
+from repro.experiments import eva_comparison
+
+
+def run():
+    return eva_comparison.run_eva_comparison(
+        cameras=("banff", "jackson", "southampton"),
+        durations_s=(("3 min", scaled(180.0)), ("10 min", scaled(600.0))),
+        queries=("red_car",),
+        include_refined=False,
+        seed=0,
+    )
+
+
+def test_fig14_red_car(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(eva_comparison.format_fig14(result).to_text())
+    cells = result.for_query("red_car")
+    # Paper: ~4.9x average.  Individual short/sparse clips can dip lower, so
+    # the shape assertion is on the mean and on "VQPy always wins".
+    assert all(cell.vqpy_speedup > 1.0 for cell in cells)
+    assert sum(c.vqpy_speedup for c in cells) / len(cells) > 2.5

@@ -1,0 +1,25 @@
+"""Figure 15 — speeding-car query: VQPy vs EVA on the three Table-3 cameras."""
+
+from _scale import scaled
+
+from repro.experiments import eva_comparison
+
+
+def run():
+    return eva_comparison.run_eva_comparison(
+        cameras=("banff", "jackson", "southampton"),
+        durations_s=(("3 min", scaled(180.0)), ("10 min", scaled(600.0))),
+        queries=("speeding_car",),
+        include_refined=False,
+        seed=0,
+    )
+
+
+def test_fig15_speeding_car(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(eva_comparison.format_fig15(result).to_text())
+    cells = result.for_query("speeding_car")
+    # Paper: ~1.5x — VQPy wins but by a modest factor.
+    assert all(cell.vqpy_speedup > 1.0 for cell in cells)
+    assert 1.0 < sum(c.vqpy_speedup for c in cells) / len(cells) < 4.0

@@ -1,0 +1,26 @@
+"""Figure 16 — red speeding car: VQPy vs EVA vs hand-refined EVA."""
+
+from _scale import scaled
+
+from repro.experiments import eva_comparison
+
+
+def run():
+    return eva_comparison.run_eva_comparison(
+        cameras=("banff", "jackson", "southampton"),
+        durations_s=(("3 min", scaled(180.0)), ("10 min", scaled(600.0))),
+        queries=("red_speeding_car",),
+        include_refined=True,
+        seed=0,
+    )
+
+
+def test_fig16_red_speeding_car(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(eva_comparison.format_fig16(result).to_text())
+    cells = result.for_query("red_speeding_car")
+    # Paper: 7.5-15.2x vs EVA; the hand-refined SQL sits in between.
+    assert sum(c.vqpy_speedup for c in cells) / len(cells) > 4.0
+    for cell in cells:
+        assert cell.vqpy_s < cell.eva_refined_s < cell.eva_s

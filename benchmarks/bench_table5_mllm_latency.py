@@ -1,0 +1,30 @@
+"""Table 5 — per-frame execution time: VideoChat-7B/13B vs VQPy vs VQPy-Opt."""
+
+import pytest
+from _scale import scaled
+
+from repro.experiments import mllm_comparison
+
+
+@pytest.fixture(scope="module")
+def mllm_result():
+    return mllm_comparison.run_mllm_comparison(
+        duration_s=scaled(600.0, minimum=60.0),
+        num_images=80,
+        seed=0,
+    )
+
+
+def test_table5_mllm_latency(benchmark, mllm_result):
+    result = benchmark.pedantic(lambda: mllm_result, rounds=1, iterations=1)
+    print()
+    print(mllm_comparison.format_table5(result).to_text())
+
+    for query_id in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6"):
+        vqpy = result.get("vqpy", query_id)
+        chat7 = result.get("videochat-7b", query_id)
+        chat13 = result.get("videochat-13b", query_id)
+        assert vqpy.ms_per_frame < chat7.ms_per_frame < chat13.ms_per_frame
+    # VQPy-Opt (shared execution of Q1-Q5) is cheaper than running them one by one.
+    individual = sum(result.get("vqpy", q).ms_per_frame for q in ("Q1", "Q2", "Q3", "Q4", "Q5"))
+    assert result.get("vqpy-opt", "Q1-Q5").ms_per_frame < individual

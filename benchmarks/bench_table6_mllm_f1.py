@@ -1,0 +1,27 @@
+"""Table 6 — F1 on boolean queries: VQPy far more accurate than VideoChat."""
+
+import pytest
+from _scale import scaled
+
+from repro.experiments import mllm_comparison
+
+
+@pytest.fixture(scope="module")
+def mllm_result():
+    return mllm_comparison.run_mllm_comparison(
+        duration_s=scaled(600.0, minimum=120.0),
+        num_images=200,
+        seed=1,
+    )
+
+
+def test_table6_mllm_f1(benchmark, mllm_result):
+    result = benchmark.pedantic(lambda: mllm_result, rounds=1, iterations=1)
+    print()
+    print(mllm_comparison.format_table6(result).to_text())
+
+    vqpy_f1 = [result.get("vqpy", q).f1 for q in ("Q1", "Q2", "Q3", "Q6")]
+    chat_f1 = [result.get("videochat-7b", q).f1 for q in ("Q1", "Q2", "Q3", "Q6")]
+    # The paper reports ~0.82 average for VQPy vs ~0.40 for VideoChat.
+    assert sum(vqpy_f1) / 4 > sum(chat_f1) / 4
+    assert result.get("vqpy", "Q6").f1 > result.get("videochat-13b", "Q6").f1

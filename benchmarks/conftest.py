@@ -1,0 +1,12 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from _scale import SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

@@ -1,0 +1,52 @@
+"""Loitering alert (the Cisco DeepVision use case of §5.4, Figure 19a).
+
+A :class:`DurationQuery` over a Person VObj restricted to a region: alert
+when someone stays inside the watched region for longer than a threshold.
+
+Run with:  python examples/loitering.py
+"""
+
+from repro import QuerySession, PlannerConfig
+from repro.frontend import Query, predicate
+from repro.frontend.builtin import Person
+from repro.frontend.higher_order import DurationQuery
+from repro.videosim import datasets
+
+#: Watched region (pixels) and minimum dwell time for an alert.
+REGION = (200.0, 300.0, 700.0, 700.0)
+LOITER_SECONDS = 60.0
+
+
+class PersonInRegionQuery(Query):
+    def __init__(self):
+        self.person = Person("person")
+
+    def frame_constraint(self):
+        def inside(bbox):
+            x, y = bbox.bottom_center
+            x0, y0, x1, y1 = REGION
+            return x0 <= x <= x1 and y0 <= y <= y1
+
+        return (self.person.score > 0.5) & predicate(inside, self.person.bbox, label="in_region")
+
+    def frame_output(self):
+        return (self.person.track_id, self.person.bbox)
+
+
+def main() -> None:
+    video = datasets.loitering_clip(duration_s=240, seed=5, loiter_seconds=150)
+    session = QuerySession(video, config=PlannerConfig(profile_plans=False))
+
+    alert_query = DurationQuery(PersonInRegionQuery(), duration_s=LOITER_SECONDS, max_gap_frames=15)
+    result = session.execute(alert_query)
+
+    print(f"loitering alerts: {len(result.events)}")
+    for event in result.events:
+        dwell = event.num_frames / video.fps
+        print(f"  ALERT: person {event.signature} stayed {dwell:.0f}s in the watched region "
+              f"(frames {event.start_frame}-{event.end_frame})")
+    print(f"virtual runtime: {result.total_ms / 1000:.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools cannot
+build PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

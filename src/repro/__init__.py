@@ -1,0 +1,55 @@
+"""repro — a reproduction of *VQPy: An Object-Oriented Approach to Modern
+Video Analytics* (Yu et al., MLSys 2024).
+
+The package is organised around the paper's architecture:
+
+* :mod:`repro.videosim` — a synthetic video substrate standing in for the
+  real surveillance footage used in the paper's evaluation.
+* :mod:`repro.models` — a simulated model zoo (detectors, trackers, property
+  models, an MLLM stand-in) with explicit cost and error models.
+* :mod:`repro.frontend` — the video-object-oriented DSL: ``VObj``,
+  ``Relation``, ``Query``, higher-order queries, property annotations.
+* :mod:`repro.backend` — the object-centric backend: graph data model,
+  operators, planner, executor, and object-level computation reuse.
+* :mod:`repro.baselines` — the comparison systems: a handcrafted CVIP-like
+  pipeline, a miniature EVA-like SQL engine, and an MLLM baseline.
+* :mod:`repro.experiments` — harnesses that regenerate every table and
+  figure from the paper's evaluation section.
+"""
+
+from repro.frontend import (
+    VObj,
+    Scene,
+    Relation,
+    Query,
+    DurationQuery,
+    SpatialQuery,
+    TemporalQuery,
+    stateless,
+    stateful,
+    vobj_filter,
+    frame_filter,
+    register_model,
+)
+from repro.backend import QuerySession, PlannerConfig
+from repro.common.clock import SimClock
+
+__all__ = [
+    "VObj",
+    "Scene",
+    "Relation",
+    "Query",
+    "DurationQuery",
+    "SpatialQuery",
+    "TemporalQuery",
+    "stateless",
+    "stateful",
+    "vobj_filter",
+    "frame_filter",
+    "register_model",
+    "QuerySession",
+    "PlannerConfig",
+    "SimClock",
+]
+
+__version__ = "0.1.0"

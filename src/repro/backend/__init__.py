@@ -1,0 +1,52 @@
+"""VQPy backend: the object-centric optimization framework (paper §4)."""
+
+from repro.backend.analysis import QueryAnalysis, analyze_query
+from repro.backend.executor import Executor, extract_events
+from repro.backend.graph import FrameGraph, RelationEdge, VObjNode
+from repro.backend.operators import (
+    DetectorOp,
+    FrameFilterOp,
+    FusedOp,
+    JoinOp,
+    Operator,
+    ProjectorOp,
+    RelationFilterOp,
+    RelationProjectorOp,
+    TrackerOp,
+    VObjFilterOp,
+)
+from repro.backend.plan import QueryPlan
+from repro.backend.planner import Planner, PlannerConfig
+from repro.backend.results import Event, MatchRecord, QueryResult
+from repro.backend.runtime import ExecutionContext, TrackState, VObjState
+from repro.backend.session import QuerySession
+
+__all__ = [
+    "QueryAnalysis",
+    "analyze_query",
+    "Executor",
+    "extract_events",
+    "FrameGraph",
+    "RelationEdge",
+    "VObjNode",
+    "DetectorOp",
+    "FrameFilterOp",
+    "FusedOp",
+    "JoinOp",
+    "Operator",
+    "ProjectorOp",
+    "RelationFilterOp",
+    "RelationProjectorOp",
+    "TrackerOp",
+    "VObjFilterOp",
+    "QueryPlan",
+    "Planner",
+    "PlannerConfig",
+    "Event",
+    "MatchRecord",
+    "QueryResult",
+    "ExecutionContext",
+    "TrackState",
+    "VObjState",
+    "QuerySession",
+]

@@ -1,0 +1,167 @@
+"""Query analysis: from a frontend ``Query`` to planner-ready structure.
+
+The analysis extracts, per VObj variable, which properties the query needs
+(with their dependency closure), which single-variable predicates can be
+pushed onto that variable's branch, whether tracking is required, and which
+properties are intrinsic; plus the residual multi-variable predicates, the
+relation variables, the outputs, and the video-level parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.common.errors import PlanError
+from repro.frontend.expr import Predicate, TRUE, ValueExpr, split_by_variable
+from repro.frontend.query import Aggregate, Query
+from repro.frontend.relation import Relation
+from repro.frontend.vobj import Scene, VObj
+
+
+@dataclass
+class VariableInfo:
+    """Planner-facing description of one VObj query variable."""
+
+    variable: VObj
+    vobj_type: type
+    #: Properties referenced by constraints/outputs (declared ones only).
+    needed_properties: List[str] = field(default_factory=list)
+    #: Single-variable conjuncts that can be pushed onto this branch.
+    conjuncts: List[Predicate] = field(default_factory=list)
+    requires_tracking: bool = False
+    intrinsic_properties: Set[str] = field(default_factory=set)
+    detector_model: str = ""
+    tracker_model: str = "kalman_tracker"
+    is_scene: bool = False
+
+    @property
+    def var_name(self) -> str:
+        return self.variable.var_name
+
+
+@dataclass
+class RelationInfo:
+    """Planner-facing description of one Relation query variable."""
+
+    relation: Relation
+    relation_type: type
+    needed_properties: List[str] = field(default_factory=list)
+    conjuncts: List[Predicate] = field(default_factory=list)
+
+    @property
+    def var_name(self) -> str:
+        return self.relation.var_name
+
+
+@dataclass
+class QueryAnalysis:
+    """Everything the planner needs to build operator DAGs for a query."""
+
+    query: Query
+    variables: List[VariableInfo]
+    relations: List[RelationInfo]
+    #: Conjuncts over multiple VObj variables (evaluated after the join).
+    residual_conjuncts: List[Predicate]
+    frame_outputs: Tuple[ValueExpr, ...]
+    video_outputs: Tuple[Aggregate, ...]
+    frame_predicate: Predicate
+    video_predicate: Predicate
+    #: True when the pushed-down filters come from the video constraint
+    #: (frame constraint was trivial).
+    filters_from_video_constraint: bool
+
+    def variable_info(self, variable: VObj) -> VariableInfo:
+        for info in self.variables:
+            if info.variable is variable:
+                return info
+        raise PlanError(f"unknown variable {variable.var_name!r}")
+
+    @property
+    def vobj_variables(self) -> List[VObj]:
+        return [info.variable for info in self.variables]
+
+    @property
+    def is_video_level(self) -> bool:
+        return bool(self.video_outputs) or self.video_predicate is not TRUE
+
+
+def analyze_query(query: Query) -> QueryAnalysis:
+    """Analyze a (basic or spatial) query for planning."""
+    query.validate()
+
+    frame_pred = query.frame_predicate()
+    video_pred = query.video_predicate()
+    frame_outputs = query.frame_outputs()
+    video_outputs = query.video_outputs()
+
+    # Decide which constraint drives the pushed-down object filters.  Frame
+    # constraints take priority; a purely video-level query (Figure 7) pushes
+    # its video-constraint conjuncts instead so filtering still prunes work.
+    filters_from_video = frame_pred is TRUE and video_pred is not TRUE
+    pushdown_pred = video_pred if filters_from_video else frame_pred
+
+    # Video-constraint conjuncts not pushed down are evaluated at the sink;
+    # they still contribute property requirements via required_properties().
+    per_var, multi = split_by_variable(pushdown_pred)
+
+    # -- property requirements per variable --------------------------------------
+    needed: Dict[Union[VObj, Relation], Set[str]] = {}
+    for var, props in query.required_properties().items():
+        needed.setdefault(var, set()).update(props)
+
+    variables: List[VariableInfo] = []
+    for var in query.vobj_variables():
+        vobj_type = type(var)
+        declared_needed = [p for p in sorted(needed.get(var, set())) if vobj_type.property_spec(p) is not None]
+        closure = vobj_type.dependency_order(declared_needed)
+        conjuncts = per_var.get(var, [])
+        intrinsics = {p for p in closure if p in vobj_type.intrinsic_properties()}
+        # Tracking is needed for stateful properties, and also whenever the
+        # query refers to the object's track id (e.g. in its outputs or in a
+        # count_distinct aggregate) — identities only exist with a tracker.
+        requires_tracking = vobj_type.requires_tracking(closure) or "track_id" in needed.get(var, set())
+        variables.append(
+            VariableInfo(
+                variable=var,
+                vobj_type=vobj_type,
+                needed_properties=closure,
+                conjuncts=conjuncts,
+                requires_tracking=requires_tracking,
+                intrinsic_properties=intrinsics,
+                detector_model=vobj_type.detector_model(),
+                tracker_model=getattr(vobj_type, "tracker", "kalman_tracker"),
+                is_scene=issubclass(vobj_type, Scene),
+            )
+        )
+
+    relations: List[RelationInfo] = []
+    for rel in query.relation_variables():
+        rel_type = type(rel)
+        declared_needed = [p for p in sorted(needed.get(rel, set())) if rel_type.property_spec(p) is not None]
+        builtin_needed = [p for p in sorted(needed.get(rel, set())) if rel_type.property_spec(p) is None]
+        conjuncts = per_var.get(rel, [])
+        relations.append(
+            RelationInfo(
+                relation=rel,
+                relation_type=rel_type,
+                needed_properties=list(dict.fromkeys(builtin_needed + rel_type.dependency_order(declared_needed))),
+                conjuncts=conjuncts,
+            )
+        )
+
+    # Residual conjuncts: anything touching more than one variable.  Relation
+    # variables' own conjuncts are handled by RelationFilter operators.
+    residual = [c for c in multi]
+
+    return QueryAnalysis(
+        query=query,
+        variables=variables,
+        relations=relations,
+        residual_conjuncts=residual,
+        frame_outputs=frame_outputs,
+        video_outputs=video_outputs,
+        frame_predicate=frame_pred,
+        video_predicate=video_pred,
+        filters_from_video_constraint=filters_from_video,
+    )

@@ -1,0 +1,272 @@
+"""The execution engine (paper §4.1).
+
+The executor walks a plan's operators over every frame of a video, then runs
+the sink: it enumerates bindings of the surviving objects, re-checks the full
+frame/video constraints (cheap — property values are already cached on the
+object states), resolves the outputs, and accumulates video-level aggregates.
+
+Higher-order queries are composed on top of the per-frame match streams:
+
+* :class:`~repro.frontend.higher_order.DurationQuery` groups matches into
+  per-object runs and keeps those lasting at least the required duration;
+* :class:`~repro.frontend.higher_order.TemporalQuery` pairs the events of its
+  two sub-queries that occur in order within the time window.
+
+Several plans can be executed in one pass over the video with a shared
+execution context; detector, tracker, and property-model results are then
+computed once — the paper's query-level computation reuse (§4.2, §5.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.analysis import QueryAnalysis
+from repro.backend.graph import FrameGraph
+from repro.backend.plan import QueryPlan
+from repro.backend.planner import Planner, PlannerConfig
+from repro.backend.results import Event, MatchRecord, QueryResult
+from repro.backend.runtime import ExecutionContext
+from repro.common.errors import ExecutionError
+from repro.frontend.expr import Environment, MISSING, TRUE
+from repro.frontend.higher_order import DurationQuery, TemporalQuery
+from repro.frontend.query import Aggregate, Query
+from repro.videosim.video import SyntheticVideo, VideoReader
+
+
+class Executor:
+    """Runs query plans over videos."""
+
+    def __init__(self, config: Optional[PlannerConfig] = None) -> None:
+        self.config = config or PlannerConfig()
+
+    # ------------------------------------------------------------------ plans --
+    def execute_plan(self, plan: QueryPlan, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
+        """Execute a single plan over the whole video."""
+        return self.execute_plans([plan], video, ctx)[0]
+
+    def execute_plans(
+        self, plans: Sequence[QueryPlan], video: SyntheticVideo, ctx: ExecutionContext
+    ) -> List[QueryResult]:
+        """Execute several plans in one pass, sharing per-frame computations."""
+        results = [
+            QueryResult(query_name=plan.query_name, plan_variant=plan.variant) for plan in plans
+        ]
+        operators = [plan.operators() for plan in plans]
+        reader = VideoReader(video, batch_size=self.config.batch_size, clock=ctx.clock)
+        start_snapshot = ctx.clock.snapshot()
+
+        for batch in reader.batches():
+            for frame in batch:
+                frame_start = ctx.clock.snapshot()
+                for plan, plan_ops, result in zip(plans, operators, results):
+                    graph = FrameGraph(frame)
+                    for op in plan_ops:
+                        graph = op.run(graph, ctx)
+                        if graph.dropped:
+                            break
+                    self._sink(plan.analysis, graph, ctx, result)
+                    result.num_frames_processed += 1
+                frame_ms = ctx.clock.since(frame_start)
+                per_plan_ms = frame_ms / max(len(plans), 1)
+                for result in results:
+                    result.per_frame_ms.append(per_plan_ms)
+                ctx.release_frame(frame.frame_id)
+
+        total = ctx.clock.since(start_snapshot)
+        for plan, result in zip(plans, results):
+            result.total_ms = total / max(len(plans), 1)
+            result.cost_breakdown = dict(ctx.clock.breakdown())
+            result.reuse_hits = ctx.reuse_stats.total_hits
+            self._finalize_aggregates(plan.analysis, result, video)
+        return results
+
+    # ------------------------------------------------------------------- sink --
+    def _sink(
+        self, analysis: QueryAnalysis, graph: FrameGraph, ctx: ExecutionContext, result: QueryResult
+    ) -> None:
+        """Enumerate bindings, evaluate residual constraints, emit matches."""
+        if graph.dropped:
+            return
+        frame = graph.frame
+        vobj_vars = [info.variable for info in analysis.variables if not info.is_scene]
+        scene_vars = [info.variable for info in analysis.variables if info.is_scene]
+
+        scene_bindings = {
+            var: graph.metadata.get("scene_states", {}).get(id(var)) or ctx.scene_state(type(var), frame)
+            for var in scene_vars
+        }
+
+        relation_states = graph.metadata.get("relation_states", {})
+        frame_matches: List[MatchRecord] = []
+
+        for binding in graph.bindings(vobj_vars) if vobj_vars else iter([{}]):
+            env_map: Dict[Any, Any] = dict(scene_bindings)
+            for var, node in binding.items():
+                env_map[var] = node.state
+            ok = True
+            for rel_info in analysis.relations:
+                rel = rel_info.relation
+                subj_node = binding.get(rel.subject)
+                obj_node = binding.get(rel.object)
+                if subj_node is None or obj_node is None:
+                    ok = False
+                    break
+                rel_state = relation_states.get(id(rel), {}).get((subj_node.node_id, obj_node.node_id))
+                if rel_state is None:
+                    ok = False
+                    break
+                env_map[rel] = rel_state
+            if not ok:
+                continue
+            env = Environment(env_map)
+
+            frame_ok = analysis.frame_predicate.evaluate(env)
+            video_ok = analysis.video_predicate is not TRUE and analysis.video_predicate.evaluate(env)
+            if analysis.video_predicate is TRUE and analysis.video_outputs:
+                # A pure aggregation query counts every frame-matching binding.
+                video_ok = frame_ok
+            if not frame_ok and not video_ok:
+                continue
+
+            signature = tuple(
+                (var.var_name, node.state.get("track_id")) for var, node in sorted(binding.items(), key=lambda kv: kv[0].var_name)
+            )
+            outputs = tuple(self._resolve_value(expr, env) for expr in analysis.frame_outputs) if frame_ok else ()
+            agg_values = tuple(self._resolve_value(agg.expr, env) for agg in analysis.video_outputs) if video_ok else ()
+            frame_matches.append(
+                MatchRecord(
+                    frame_id=frame.frame_id,
+                    binding=signature,
+                    outputs=outputs,
+                    frame_match=frame_ok,
+                    video_match=video_ok,
+                    aggregate_values=agg_values,
+                )
+            )
+
+        if frame_matches:
+            if any(m.frame_match for m in frame_matches):
+                result.matched_frames.append(frame.frame_id)
+            result.matches[frame.frame_id] = frame_matches
+
+    @staticmethod
+    def _resolve_value(expr, env: Environment) -> Any:
+        value = expr.resolve(env)
+        return None if value is MISSING else value
+
+    # -------------------------------------------------------------- aggregates --
+    def _finalize_aggregates(self, analysis: QueryAnalysis, result: QueryResult, video: SyntheticVideo) -> None:
+        if not analysis.video_outputs:
+            return
+        video_records = result.video_records()
+        frames = max(result.num_frames_processed, 1)
+        for idx, agg in enumerate(analysis.video_outputs):
+            label = agg.label or f"{agg.kind}_{idx}"
+            values = [r.aggregate_values[idx] for r in video_records if len(r.aggregate_values) > idx]
+            if agg.kind == "count_distinct":
+                result.aggregates[label] = len({v for v in values if v is not None})
+            elif agg.kind == "average_per_frame":
+                result.aggregates[label] = len(values) / frames
+            elif agg.kind == "max_per_frame":
+                per_frame: Dict[int, int] = defaultdict(int)
+                for r in video_records:
+                    per_frame[r.frame_id] += 1
+                result.aggregates[label] = max(per_frame.values(), default=0)
+            elif agg.kind == "collect":
+                result.aggregates[label] = values
+
+    # ------------------------------------------------------- higher-order queries --
+    def execute(
+        self,
+        query: Query,
+        video: SyntheticVideo,
+        ctx: ExecutionContext,
+        planner: Planner,
+    ) -> QueryResult:
+        """Execute any query, including higher-order compositions."""
+        if isinstance(query, TemporalQuery):
+            return self._execute_temporal(query, video, ctx, planner)
+        if isinstance(query, DurationQuery):
+            return self._execute_duration(query, video, ctx, planner)
+        plan = planner.plan(query, video)
+        return self.execute_plan(plan, video, ctx)
+
+    def _execute_duration(
+        self, query: DurationQuery, video: SyntheticVideo, ctx: ExecutionContext, planner: Planner
+    ) -> QueryResult:
+        plan = planner.plan(query, video)
+        result = self.execute_plan(plan, video, ctx)
+        required = query.required_duration_frames(video.fps)
+        events = extract_events(result, max_gap=query.max_gap_frames, min_length=required)
+        qualifying_frames = set()
+        for event in events:
+            qualifying_frames.update(range(event.start_frame, event.end_frame + 1))
+        result.events = events
+        result.matched_frames = sorted(set(result.matched_frames) & qualifying_frames)
+        result.aggregates.setdefault("num_events", len(events))
+        return result
+
+    def _execute_temporal(
+        self, query: TemporalQuery, video: SyntheticVideo, ctx: ExecutionContext, planner: Planner
+    ) -> QueryResult:
+        first = self.execute(query.first, video, ctx, planner)
+        second = self.execute(query.second, video, ctx, planner)
+        first_events = first.events or extract_events(first)
+        second_events = second.events or extract_events(second)
+
+        min_gap = int(query.min_gap_s * video.fps)
+        max_gap = int(query.max_gap_s * video.fps)
+        pairs: List[Event] = []
+        matched_frames: set = set()
+        for ev_a in first_events:
+            for ev_b in second_events:
+                gap = ev_b.start_frame - ev_a.end_frame
+                if min_gap <= gap <= max_gap:
+                    pairs.append(
+                        Event(
+                            start_frame=ev_a.start_frame,
+                            end_frame=ev_b.end_frame,
+                            signature=ev_a.signature + ev_b.signature,
+                            label=f"{first.query_name}->{second.query_name}",
+                        )
+                    )
+                    matched_frames.update(range(ev_a.start_frame, ev_b.end_frame + 1))
+
+        result = QueryResult(query_name=query.query_name)
+        result.num_frames_processed = max(first.num_frames_processed, second.num_frames_processed)
+        result.events = pairs
+        result.matched_frames = sorted(matched_frames & (set(first.matched_frames) | set(second.matched_frames)))
+        result.total_ms = first.total_ms + second.total_ms
+        result.per_frame_ms = [a + b for a, b in zip(first.per_frame_ms, second.per_frame_ms)] or first.per_frame_ms
+        result.aggregates["num_event_pairs"] = len(pairs)
+        result.reuse_hits = max(first.reuse_hits, second.reuse_hits)
+        return result
+
+
+def extract_events(result: QueryResult, max_gap: int = 5, min_length: int = 1) -> List[Event]:
+    """Group a result's matches into per-object-set events (continuous runs).
+
+    Matches sharing the same binding signature that occur within ``max_gap``
+    frames of each other belong to the same event; events shorter than
+    ``min_length`` frames are dropped.
+    """
+    by_signature: Dict[Tuple, List[int]] = defaultdict(list)
+    for frame_id, records in result.matches.items():
+        for record in records:
+            by_signature[record.signature].append(frame_id)
+
+    events: List[Event] = []
+    for signature, frame_ids in by_signature.items():
+        frame_ids = sorted(set(frame_ids))
+        start = prev = frame_ids[0]
+        for fid in frame_ids[1:]:
+            if fid - prev > max_gap:
+                if prev - start + 1 >= min_length:
+                    events.append(Event(start_frame=start, end_frame=prev, signature=signature))
+                start = fid
+            prev = fid
+        if prev - start + 1 >= min_length:
+            events.append(Event(start_frame=start, end_frame=prev, signature=signature))
+    return sorted(events, key=lambda e: (e.start_frame, e.end_frame))

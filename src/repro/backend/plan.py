@@ -1,0 +1,103 @@
+"""Query plans: the operator DAG produced by the planner.
+
+A :class:`QueryPlan` keeps the pipeline's structure explicit — the shared
+frame-filter prefix, one branch of operators per VObj variable (these could
+run in parallel, paper §4.1), and the post-join stage (relation projection,
+relation filters).  ``describe()`` renders the DAG in the style of Figure 9,
+and ``to_networkx()`` exposes it as a graph for tests and tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.backend.analysis import QueryAnalysis
+from repro.backend.operators import JoinOp, Operator
+from repro.frontend.vobj import VObj
+
+
+@dataclass
+class QueryPlan:
+    """An executable operator pipeline for one (basic or spatial) query."""
+
+    query_name: str
+    analysis: QueryAnalysis
+    frame_filters: List[Operator] = field(default_factory=list)
+    branches: Dict[str, List[Operator]] = field(default_factory=dict)
+    post_join: List[Operator] = field(default_factory=list)
+    variant: str = "base"
+    #: Free-form annotations about how the plan was built (optimizations applied).
+    notes: List[str] = field(default_factory=list)
+    #: Filled by canary profiling.
+    estimated_cost_ms: Optional[float] = None
+    estimated_f1: Optional[float] = None
+
+    # -- execution order ---------------------------------------------------------
+    def operators(self) -> List[Operator]:
+        """The flattened execution order: filters, branches, join, post-join."""
+        ops: List[Operator] = list(self.frame_filters)
+        for branch_ops in self.branches.values():
+            ops.extend(branch_ops)
+        ops.append(self.join_operator())
+        ops.extend(self.post_join)
+        return ops
+
+    def join_operator(self) -> JoinOp:
+        return JoinOp([info.variable for info in self.analysis.variables if not info.is_scene])
+
+    def operator_kinds(self) -> List[str]:
+        return [op.kind for op in self.operators()]
+
+    # -- inspection ----------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line, Figure-9-style rendering of the DAG."""
+        lines = [f"QueryPlan[{self.query_name}] variant={self.variant}"]
+        if self.notes:
+            lines.append("  notes: " + "; ".join(self.notes))
+        lines.append("  video_reader")
+        for op in self.frame_filters:
+            lines.append(f"    -> {op.describe()}")
+        for var_name, ops in self.branches.items():
+            lines.append(f"  branch [{var_name}]:")
+            for op in ops:
+                lines.append(f"    -> {op.describe()}")
+        lines.append(f"  {self.join_operator().describe()}")
+        for op in self.post_join:
+            lines.append(f"    -> {op.describe()}")
+        lines.append("  -> sink (bindings, residual predicates, outputs)")
+        return "\n".join(lines)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The DAG as a networkx graph (nodes are operator descriptions)."""
+        graph = nx.DiGraph()
+        graph.add_node("video_reader", kind="video_reader")
+        prev = "video_reader"
+        for op in self.frame_filters:
+            graph.add_node(op.describe(), kind=op.kind)
+            graph.add_edge(prev, op.describe())
+            prev = op.describe()
+        fan_out = prev
+        join = self.join_operator().describe()
+        graph.add_node(join, kind="join")
+        for var_name, ops in self.branches.items():
+            branch_prev = fan_out
+            for op in ops:
+                node = op.describe()
+                graph.add_node(node, kind=op.kind, branch=var_name)
+                graph.add_edge(branch_prev, node)
+                branch_prev = node
+            graph.add_edge(branch_prev, join)
+        prev = join
+        for op in self.post_join:
+            graph.add_node(op.describe(), kind=op.kind)
+            graph.add_edge(prev, op.describe())
+            prev = op.describe()
+        graph.add_node("sink", kind="sink")
+        graph.add_edge(prev, "sink")
+        return graph
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for op in self.operators() if op.kind == kind)

@@ -1,0 +1,340 @@
+"""The query planner (paper §4.1, §4.3, §4.4).
+
+Given an analyzed query, the planner:
+
+1. builds a *base* operator DAG — one branch per VObj variable (detector,
+   tracker when needed, interleaved projectors and object filters), a join,
+   and relation operators after the join;
+2. applies DAG optimizations — predicate pull-up (filters run as early as
+   their properties allow, cheapest first) and operator fusion;
+3. generates *alternative* DAGs from the inheritance chain and the
+   registered optimizations (§4.4): specialized detectors replacing the
+   general detector plus attribute filter, binary classifiers and frame
+   filters inserted ahead of the detectors;
+4. profiles every candidate on a short canary clip, estimating cost (virtual
+   milliseconds) and accuracy (F1 against the most-general plan's results),
+   and picks the cheapest plan meeting the accuracy target (§4.3).
+
+Chosen variants are cached per (query, video) so repeated queries on similar
+data skip re-profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.analysis import QueryAnalysis, VariableInfo, analyze_query
+from repro.backend.operators import (
+    DetectorOp,
+    FrameFilterOp,
+    FusedOp,
+    Operator,
+    ProjectorOp,
+    RelationFilterOp,
+    RelationProjectorOp,
+    TrackerOp,
+    VObjFilterOp,
+)
+from repro.backend.plan import QueryPlan
+from repro.common.config import AccuracyTarget
+from repro.common.errors import PlanError
+from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
+from repro.frontend.query import Query
+from repro.frontend.vobj import VObj
+from repro.models.zoo import ModelZoo
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner and executor knobs.
+
+    The defaults correspond to "VQPy with annotation" in the evaluation;
+    experiments flip individual switches to reproduce the vanilla-VQPy and
+    ablation configurations.
+    """
+
+    #: Predicate pull-up / lazy evaluation: interleave filters with projectors.
+    enable_lazy: bool = True
+    #: Fuse adjacent per-variable operators to amortise operator overhead.
+    enable_fusion: bool = True
+    #: Object-level computation reuse of intrinsic properties (§4.2).
+    enable_reuse: bool = True
+    #: Insert binary classifiers / frame filters registered on the VObjs.
+    use_registered_filters: bool = True
+    #: Consider specialized-NN detector variants registered on the VObjs.
+    consider_specialized: bool = True
+    #: Profile candidate DAGs on a canary clip and pick the best (§4.3).
+    profile_plans: bool = True
+    #: Number of canary frames used for profiling.
+    canary_frames: int = 40
+    #: Minimum acceptable F1 (relative to the most-general plan) for a candidate.
+    accuracy_target: float = 0.9
+    #: Frame batch size used by the executor.
+    batch_size: int = 8
+    #: Minimum detection score for an object to enter the pipeline.
+    min_score: float = 0.0
+
+    def accuracy(self) -> AccuracyTarget:
+        return AccuracyTarget(min_f1=self.accuracy_target)
+
+
+class Planner:
+    """Builds, optimizes, and selects operator DAGs for queries."""
+
+    def __init__(self, zoo: ModelZoo, config: Optional[PlannerConfig] = None) -> None:
+        self.zoo = zoo
+        self.config = config or PlannerConfig()
+        #: (query class name, video name) -> chosen variant name.
+        self._variant_cache: Dict[Tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------------ costs --
+    def _model_cost(self, model_name: Optional[str]) -> float:
+        """Rough per-invocation cost of a library model (for ordering filters)."""
+        if not model_name or model_name not in self.zoo:
+            return 0.05
+        try:
+            model = self.zoo.get(model_name)
+        except Exception:  # pragma: no cover - defensive
+            return 1.0
+        profile = getattr(model, "cost_profile", None)
+        if profile is None:
+            return 1.0
+        return profile.cost(1)
+
+    def _property_cost(self, vobj_type: type, prop: str) -> float:
+        spec = vobj_type.property_spec(prop)
+        if spec is None:  # builtin
+            return 0.0
+        base = self._model_cost(spec.model) if spec.is_model_backed else 0.05
+        # Stateful properties imply per-frame recomputation of dependencies.
+        deps = sum(self._property_cost(vobj_type, d) for d in spec.inputs if d != prop)
+        return base + deps
+
+    def _conjunct_cost(self, info: VariableInfo, conjunct: Predicate) -> float:
+        props = conjunct.required_properties().get(info.variable, set())
+        return sum(self._property_cost(info.vobj_type, p) for p in props) or 0.01
+
+    # -------------------------------------------------------------- branch build --
+    @staticmethod
+    def _conjunct_covered(conjunct: Predicate, variable: VObj, attribute: str, value: object) -> bool:
+        """True when the conjunct is exactly ``variable.attribute == value``."""
+        if not isinstance(conjunct, Comparison) or conjunct.op_name != "==":
+            return False
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Literal) and isinstance(right, PropertyRef):
+            left, right = right, left
+        return (
+            isinstance(left, PropertyRef)
+            and isinstance(right, Literal)
+            and left.variable is variable
+            and left.property_name == attribute
+            and right.value == value
+        )
+
+    def _build_branch(
+        self,
+        info: VariableInfo,
+        detector_model: str,
+        covered: Optional[Tuple[str, object]] = None,
+    ) -> List[Operator]:
+        """Operators for one variable: detect, track, project/filter interleaved."""
+        cfg = self.config
+        ops: List[Operator] = [DetectorOp(info.variable, detector_model, min_score=cfg.min_score)]
+
+        needs_tracker = info.requires_tracking or (cfg.enable_reuse and info.intrinsic_properties)
+        if needs_tracker and not info.is_scene:
+            ops.append(TrackerOp(info.variable, info.tracker_model, detector_model))
+
+        conjuncts = list(info.conjuncts)
+        if covered is not None:
+            attribute, value = covered
+            conjuncts = [c for c in conjuncts if not self._conjunct_covered(c, info.variable, attribute, value)]
+
+        projected: set = set()
+
+        def projector_for(props: Sequence[str]) -> Optional[ProjectorOp]:
+            declared = [
+                p
+                for p in info.vobj_type.dependency_order(list(props))
+                if p not in projected and info.vobj_type.property_spec(p) is not None
+            ]
+            if not declared:
+                return None
+            projected.update(declared)
+            return ProjectorOp(info.variable, declared)
+
+        if cfg.enable_lazy:
+            # Predicate pull-up: evaluate the cheapest predicates first so
+            # expensive properties are only computed for surviving objects.
+            for conjunct in sorted(conjuncts, key=lambda c: self._conjunct_cost(info, c)):
+                props = conjunct.required_properties().get(info.variable, set())
+                projector = projector_for(sorted(props))
+                if projector is not None:
+                    ops.append(projector)
+                ops.append(VObjFilterOp(info.variable, conjunct))
+            remaining = projector_for(info.needed_properties)
+            if remaining is not None:
+                ops.append(remaining)
+        else:
+            # Unoptimized ordering: compute every needed property for every
+            # object, then filter at the end (the CVIP-style behaviour).
+            projector = projector_for(info.needed_properties)
+            if projector is not None:
+                ops.append(projector)
+            if conjuncts:
+                ops.append(VObjFilterOp(info.variable, conjunction(conjuncts)))
+
+        if cfg.enable_fusion:
+            ops = self._fuse(ops)
+        return ops
+
+    @staticmethod
+    def _fuse(ops: List[Operator]) -> List[Operator]:
+        """Merge adjacent projector/object-filter runs into FusedOps."""
+        fused: List[Operator] = []
+        run: List[Operator] = []
+        for op in ops:
+            if op.kind in ("projector", "object_filter"):
+                run.append(op)
+                continue
+            if run:
+                fused.append(run[0] if len(run) == 1 else FusedOp(run))
+                run = []
+            fused.append(op)
+        if run:
+            fused.append(run[0] if len(run) == 1 else FusedOp(run))
+        return fused
+
+    # ------------------------------------------------------------ plan variants --
+    def _registered_frame_filters(self, analysis: QueryAnalysis) -> List[Operator]:
+        ops: List[Operator] = []
+        for info in analysis.variables:
+            for spec in info.vobj_type.registered_filters():
+                if spec.model and spec.model in self.zoo:
+                    ops.append(FrameFilterOp(spec.name, spec.model))
+        return ops
+
+    def _post_join_ops(self, analysis: QueryAnalysis) -> List[Operator]:
+        ops: List[Operator] = []
+        for rel_info in analysis.relations:
+            ops.append(RelationProjectorOp(rel_info.relation, rel_info.needed_properties))
+            if rel_info.conjuncts:
+                ops.append(RelationFilterOp(rel_info.relation, conjunction(rel_info.conjuncts)))
+        return ops
+
+    def _build_plan(
+        self,
+        analysis: QueryAnalysis,
+        variant: str,
+        with_filters: bool,
+        specialized: Optional[Dict[int, Tuple[str, str, object]]] = None,
+    ) -> QueryPlan:
+        """Assemble a full plan.  ``specialized`` maps id(variable) ->
+        (model_name, covered_attribute, covered_value)."""
+        specialized = specialized or {}
+        branches: Dict[str, List[Operator]] = {}
+        notes: List[str] = []
+        for info in analysis.variables:
+            override = specialized.get(id(info.variable))
+            if override is not None:
+                model_name, attr, value = override
+                branches[info.var_name] = self._build_branch(info, model_name, covered=(attr, value))
+                notes.append(f"specialized detector {model_name!r} for {info.var_name}")
+            else:
+                branches[info.var_name] = self._build_branch(info, info.detector_model)
+        frame_filters = self._registered_frame_filters(analysis) if with_filters else []
+        if frame_filters:
+            notes.append("registered frame filters: " + ", ".join(op.name for op in frame_filters))
+        if self.config.enable_lazy:
+            notes.append("predicate pull-up")
+        if self.config.enable_fusion:
+            notes.append("operator fusion")
+        return QueryPlan(
+            query_name=analysis.query.query_name,
+            analysis=analysis,
+            frame_filters=frame_filters,
+            branches=branches,
+            post_join=self._post_join_ops(analysis),
+            variant=variant,
+            notes=notes,
+        )
+
+    def candidate_plans(self, analysis: QueryAnalysis) -> List[QueryPlan]:
+        """All candidate DAGs the planner will consider for this query."""
+        cfg = self.config
+        candidates = [self._build_plan(analysis, "base", with_filters=cfg.use_registered_filters)]
+        if cfg.use_registered_filters and self._registered_frame_filters(analysis):
+            candidates.append(self._build_plan(analysis, "no_frame_filters", with_filters=False))
+        if cfg.consider_specialized:
+            for info in analysis.variables:
+                for model_name in getattr(info.vobj_type, "specialized_models", ()):  # §4.4
+                    if model_name not in self.zoo:
+                        continue
+                    meta = self.zoo.metadata(model_name)
+                    target = meta.get("specialized_for", {})
+                    covered_attr, covered_value = None, None
+                    for attr, value in target.items():
+                        if attr != "class":
+                            covered_attr, covered_value = attr, value
+                    candidates.append(
+                        self._build_plan(
+                            analysis,
+                            f"specialized:{model_name}",
+                            with_filters=cfg.use_registered_filters,
+                            specialized={id(info.variable): (model_name, covered_attr, covered_value)},
+                        )
+                    )
+        return candidates
+
+    # ------------------------------------------------------------- plan selection --
+    def plan(self, query: Query, video=None) -> QueryPlan:
+        """Plan a basic or spatial query, profiling candidates when possible."""
+        analysis = analyze_query(query)
+        candidates = self.candidate_plans(analysis)
+        if len(candidates) == 1 or not self.config.profile_plans or video is None:
+            return candidates[0]
+
+        cache_key = (type(query).__name__, video.spec.name)
+        if cache_key in self._variant_cache:
+            wanted = self._variant_cache[cache_key]
+            for candidate in candidates:
+                if candidate.variant == wanted:
+                    return candidate
+
+        chosen = self._profile_and_select(candidates, video)
+        self._variant_cache[cache_key] = chosen.variant
+        return chosen
+
+    def _profile_and_select(self, candidates: List[QueryPlan], video) -> QueryPlan:
+        """Profile candidates on the canary clip and pick the cheapest accurate one."""
+        from repro.backend.executor import Executor
+        from repro.backend.runtime import ExecutionContext
+        from repro.metrics.accuracy import f1_score_sets
+
+        canary = video.canary(self.config.canary_frames)
+
+        def run(candidate: QueryPlan):
+            ctx = ExecutionContext(canary, self.zoo, reuse_enabled=self.config.enable_reuse)
+            result = Executor(self.config).execute_plan(candidate, canary, ctx)
+            candidate.estimated_cost_ms = ctx.clock.elapsed_ms
+            return set(result.matched_frames)
+
+        # The most general candidate (general detectors, no frame filters)
+        # provides the reference labels the other candidates are scored
+        # against (§4.3).
+        reference = next((c for c in candidates if c.variant == "no_frame_filters"), candidates[0])
+        reference_frames = run(reference)
+        reference.estimated_f1 = 1.0
+        profiled: List[QueryPlan] = [reference]
+        for candidate in candidates:
+            if candidate is reference:
+                continue
+            matched = run(candidate)
+            candidate.estimated_f1 = f1_score_sets(matched, reference_frames, universe=canary.num_frames)
+            profiled.append(candidate)
+
+        target = self.config.accuracy()
+        acceptable = [p for p in profiled if target.accepts(p.estimated_f1 or 0.0)]
+        pool = acceptable or profiled[:1]
+        return min(pool, key=lambda p: p.estimated_cost_ms or float("inf"))

@@ -1,0 +1,94 @@
+"""Result records returned by the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One matching binding (objects for each query variable) on one frame."""
+
+    frame_id: int
+    #: variable name -> track id (or None when the plan has no tracker).
+    binding: Tuple[Tuple[str, Optional[int]], ...]
+    #: Values of the query's frame_output expressions.
+    outputs: Tuple[Any, ...] = ()
+    #: Whether the binding satisfies the frame-level constraint.
+    frame_match: bool = True
+    #: Whether the binding also satisfies the video-level constraint.
+    video_match: bool = False
+    #: Values of the video_output aggregate expressions (aligned by index).
+    aggregate_values: Tuple[Any, ...] = ()
+
+    @property
+    def signature(self) -> Tuple[Tuple[str, Optional[int]], ...]:
+        """Identity of the participating objects (used to group events)."""
+        return self.binding
+
+
+@dataclass(frozen=True)
+class Event:
+    """A time interval during which a condition held for a fixed object set."""
+
+    start_frame: int
+    end_frame: int
+    signature: Tuple[Tuple[str, Optional[int]], ...] = ()
+    label: str = ""
+
+    @property
+    def num_frames(self) -> int:
+        return self.end_frame - self.start_frame + 1
+
+
+@dataclass
+class QueryResult:
+    """The full result of executing one query over one video."""
+
+    query_name: str
+    num_frames_processed: int = 0
+    matched_frames: List[int] = field(default_factory=list)
+    #: frame_id -> match records for that frame (only frames with matches).
+    matches: Dict[int, List[MatchRecord]] = field(default_factory=dict)
+    #: Video-level aggregate results keyed by the aggregate's label.
+    aggregates: Dict[str, Any] = field(default_factory=dict)
+    #: Duration / temporal events (higher-order queries).
+    events: List[Event] = field(default_factory=list)
+    #: Virtual milliseconds charged while processing each frame (in order).
+    per_frame_ms: List[float] = field(default_factory=list)
+    total_ms: float = 0.0
+    cost_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Number of property computations avoided by intrinsic reuse.
+    reuse_hits: int = 0
+    plan_variant: str = "base"
+
+    @property
+    def num_matches(self) -> int:
+        return sum(len(records) for records in self.matches.values())
+
+    @property
+    def ms_per_frame(self) -> float:
+        if self.num_frames_processed == 0:
+            return 0.0
+        return self.total_ms / self.num_frames_processed
+
+    def all_records(self) -> List[MatchRecord]:
+        out: List[MatchRecord] = []
+        for frame_id in sorted(self.matches):
+            out.extend(self.matches[frame_id])
+        return out
+
+    def video_records(self) -> List[MatchRecord]:
+        return [r for r in self.all_records() if r.video_match]
+
+    def distinct_tracks(self, var_name: Optional[str] = None) -> set:
+        """Distinct track ids across matches (optionally for one variable)."""
+        tracks = set()
+        for record in self.all_records():
+            for name, track_id in record.binding:
+                if track_id is None:
+                    continue
+                if var_name is None or name == var_name:
+                    tracks.add((name, track_id))
+        return tracks

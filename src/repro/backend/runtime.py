@@ -1,0 +1,401 @@
+"""Runtime object state: lazy, memoised property evaluation.
+
+This module is where the paper's two object-level optimizations live:
+
+* **Lazy evaluation** — a :class:`VObjState` computes a property only when an
+  operator (filter/projector) actually asks for it, and caches it for the
+  rest of the frame.  Because the planner orders filters cheapest-first,
+  objects that fail an early predicate never pay for later properties
+  (the §5.1 gain over CVIP).
+* **Object-level computation reuse (§4.2)** — properties flagged intrinsic
+  are cached on the object's :class:`TrackState`; once the lightweight
+  tracker re-identifies the object on a later frame, the cached value is
+  returned without invoking the property model at all (the additional ~10×
+  of "VQPy with annotation").
+
+The :class:`ExecutionContext` also provides cross-query sharing of detector,
+tracker, and property-model results, which implements the paper's
+query-level computation reuse.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import ExecutionError
+from repro.common.geometry import BBox
+from repro.frontend.properties import PropertySpec
+from repro.frontend.relation import Relation
+from repro.frontend.vobj import Scene, VObj
+from repro.models.base import Detection
+from repro.models.zoo import ModelZoo
+from repro.videosim.video import Frame, SyntheticVideo
+
+#: Virtual cost charged for evaluating a pure-Python property body.
+PYTHON_PROPERTY_MS = 0.02
+
+
+class TrackState:
+    """Cross-frame state of one tracked object (per VObj type).
+
+    Holds the sliding windows of property history that stateful properties
+    consume, and the intrinsic-property cache used for computation reuse.
+    """
+
+    def __init__(self, vobj_type: type, track_id: int) -> None:
+        self.vobj_type = vobj_type
+        self.track_id = track_id
+        self._history: Dict[str, deque] = {}
+        self._history_frames: Dict[str, int] = {}
+        self.intrinsic_values: Dict[str, Any] = {}
+        self.first_frame_id: Optional[int] = None
+        self.last_frame_id: Optional[int] = None
+
+    def observe_frame(self, frame_id: int) -> None:
+        if self.first_frame_id is None:
+            self.first_frame_id = frame_id
+        self.last_frame_id = frame_id
+
+    def record(self, prop: str, frame_id: int, value: Any, window: int) -> None:
+        """Append ``value`` to the property's sliding window (once per frame)."""
+        dq = self._history.get(prop)
+        if dq is None or dq.maxlen != window:
+            dq = deque(dq or (), maxlen=window)
+            self._history[prop] = dq
+        if self._history_frames.get(prop) == frame_id:
+            dq[-1] = value
+        else:
+            dq.append(value)
+            self._history_frames[prop] = frame_id
+        self.observe_frame(frame_id)
+
+    def history(self, prop: str) -> List[Any]:
+        """The recorded window for ``prop`` (oldest first)."""
+        return list(self._history.get(prop, ()))
+
+
+class VObjState:
+    """Per-frame lazy property accessor for one detected object."""
+
+    def __init__(
+        self,
+        vobj_type: type,
+        detection: Detection,
+        frame: Frame,
+        context: "ExecutionContext",
+        track_state: Optional[TrackState] = None,
+    ) -> None:
+        self.vobj_type = vobj_type
+        self.detection = detection
+        self.frame = frame
+        self.context = context
+        self.track_state = track_state
+        self._cache: Dict[str, Any] = {}
+
+    # -- property resolution -------------------------------------------------
+    def get(self, name: str) -> Any:
+        if name in self._cache:
+            return self._cache[name]
+        value = self._resolve(name)
+        self._cache[name] = value
+        return value
+
+    def _resolve(self, name: str) -> Any:
+        builtin = self._builtin(name)
+        if builtin is not _SENTINEL:
+            return builtin
+        spec = self.vobj_type.property_spec(name)
+        if spec is None:
+            raise ExecutionError(f"{self.vobj_type.__name__} has no property {name!r}")
+        if spec.kind == "stateless":
+            return self._resolve_stateless(spec)
+        return self._resolve_stateful(spec)
+
+    def _builtin(self, name: str) -> Any:
+        det = self.detection
+        if name == "bbox":
+            return det.bbox
+        if name == "score":
+            return det.score
+        if name == "class_name":
+            return det.class_name
+        if name == "track_id":
+            return det.track_id
+        if name == "frame_id":
+            return det.frame_id
+        if name == "frame_rate":
+            return self.context.frame_rate
+        if name == "image":
+            # No pixels exist in the simulation; the detection itself stands
+            # in for the crop that a property model would consume.
+            return det
+        if name == "center":
+            return det.bbox.center
+        if name == "bottom_center":
+            return det.bbox.bottom_center
+        return _SENTINEL
+
+    def _resolve_stateless(self, spec: PropertySpec) -> Any:
+        reusable = (
+            spec.intrinsic
+            and self.context.reuse_enabled
+            and self.track_state is not None
+        )
+        if reusable and spec.name in self.track_state.intrinsic_values:
+            self.context.count_reuse(spec.name)
+            return self.track_state.intrinsic_values[spec.name]
+
+        if spec.is_model_backed:
+            model = self.context.property_model(spec.model)
+            value = model.predict(self.detection, self.frame, self.context.clock)
+        else:
+            inputs = [self.get(dep) for dep in spec.inputs]
+            self.context.charge_python(spec.name)
+            value = spec.func(self, *inputs)
+
+        if reusable:
+            self.track_state.intrinsic_values[spec.name] = value
+        return value
+
+    def _resolve_stateful(self, spec: PropertySpec) -> Any:
+        if self.track_state is None:
+            raise ExecutionError(
+                f"stateful property {spec.name!r} needs tracking, but no track state is bound "
+                f"(is a tracker operator missing from the plan?)"
+            )
+        histories: List[List[Any]] = []
+        for dep in spec.inputs:
+            current = self.get(dep)
+            # history_len counts past frames; the window also holds the
+            # current value so the function sees history_len + 1 entries.
+            self.track_state.record(dep, self.frame.frame_id, current, spec.history_len + 1)
+            histories.append(self.track_state.history(dep))
+        self.context.charge_python(spec.name)
+        if spec.is_model_backed:
+            model = self.context.property_model(spec.model)
+            return model.predict(histories[0] if len(histories) == 1 else histories, clock=self.context.clock)
+        args = histories[0] if len(histories) == 1 else histories
+        return spec.func(self, args) if len(histories) == 1 else spec.func(self, *histories)
+
+
+class SceneState:
+    """Property accessor for the per-frame Scene VObj."""
+
+    def __init__(self, scene_type: type, frame: Frame, context: "ExecutionContext") -> None:
+        self.scene_type = scene_type
+        self.frame = frame
+        self.context = context
+
+    def get(self, name: str) -> Any:
+        frame = self.frame
+        if name == "frame_id":
+            return frame.frame_id
+        if name == "bbox":
+            return BBox(0, 0, frame.width, frame.height)
+        if name == "num_objects":
+            return frame.num_objects
+        if name in ("time_of_day", "weather", "location"):
+            return frame.scene_attributes.get(name)
+        if name in ("score", "track_id"):
+            return 1.0 if name == "score" else 0
+        spec = self.scene_type.property_spec(name)
+        if spec is not None and spec.func is not None:
+            inputs = [self.get(dep) for dep in spec.inputs]
+            self.context.charge_python(name)
+            return spec.func(self, *inputs)
+        return frame.scene_attributes.get(name)
+
+
+class RelationState:
+    """Lazy property accessor for one (subject, object) relation instance."""
+
+    def __init__(
+        self,
+        relation_type: type,
+        subject: VObjState,
+        object_: VObjState,
+        frame: Frame,
+        context: "ExecutionContext",
+    ) -> None:
+        self.relation_type = relation_type
+        self.subject = subject
+        self.object = object_
+        self.frame = frame
+        self.context = context
+        self._cache: Dict[str, Any] = {}
+
+    def get(self, name: str) -> Any:
+        if name in self._cache:
+            return self._cache[name]
+        value = self._resolve(name)
+        self._cache[name] = value
+        return value
+
+    def _resolve(self, name: str) -> Any:
+        s_bbox: BBox = self.subject.get("bbox")
+        o_bbox: BBox = self.object.get("bbox")
+        if name == "distance":
+            return s_bbox.center_distance(o_bbox)
+        if name == "edge_distance":
+            return s_bbox.edge_distance(o_bbox)
+        if name == "iou":
+            return s_bbox.iou(o_bbox)
+        if name == "frame_id":
+            return self.frame.frame_id
+        if name == "subject_bbox":
+            return s_bbox
+        if name == "object_bbox":
+            return o_bbox
+        spec = self.relation_type.property_spec(name)
+        if spec is None:
+            raise ExecutionError(f"{self.relation_type.__name__} has no relation property {name!r}")
+        if spec.is_model_backed:
+            return self._model_backed(spec)
+        inputs = [self.get(dep) for dep in spec.inputs]
+        self.context.charge_python(name)
+        return spec.func(self, *inputs)
+
+    def _model_backed(self, spec: PropertySpec) -> Any:
+        predictions = self.context.interactions(
+            spec.model, self.subject.detection, self.object.detection, self.frame
+        )
+        allowed = getattr(self.relation_type, "interaction_kinds", None)
+        for kind in predictions:
+            if allowed is None or kind in allowed:
+                return kind
+        return None
+
+
+class _Sentinel:
+    pass
+
+
+_SENTINEL = _Sentinel()
+
+
+@dataclass
+class ReuseStats:
+    """Counters describing how much work object-level reuse avoided."""
+
+    property_hits: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, prop: str) -> None:
+        self.property_hits[prop] = self.property_hits.get(prop, 0) + 1
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.property_hits.values())
+
+
+class ExecutionContext:
+    """Shared execution state for one video (possibly across several queries).
+
+    Caches detector, tracker, property-model, and interaction-model results
+    per frame so that (a) two query variables backed by the same model pay
+    for it once, and (b) several queries executed against the same context
+    share all of that work — the paper's query-level computation reuse.
+    """
+
+    def __init__(
+        self,
+        video: SyntheticVideo,
+        zoo: ModelZoo,
+        clock: Optional[SimClock] = None,
+        reuse_enabled: bool = True,
+    ) -> None:
+        self.video = video
+        self.zoo = zoo
+        self.clock = clock if clock is not None else SimClock()
+        self.reuse_enabled = reuse_enabled
+        self.frame_rate = video.fps
+        self.reuse_stats = ReuseStats()
+
+        self._detections: Dict[Tuple[str, int], List[Detection]] = {}
+        self._tracked: Dict[Tuple[str, str, int], List[Detection]] = {}
+        self._trackers: Dict[Tuple[str, str], Any] = {}
+        self._models: Dict[str, Any] = {}
+        self._track_states: Dict[Tuple[type, int], TrackState] = {}
+        self._vobj_states: Dict[Tuple[type, Detection], VObjState] = {}
+        self._interactions: Dict[Tuple[str, Detection, Detection], Tuple[str, ...]] = {}
+
+    # -- model access -----------------------------------------------------------
+    def model(self, name: str) -> Any:
+        if name not in self._models:
+            self._models[name] = self.zoo.get(name, fresh=True)
+        return self._models[name]
+
+    def property_model(self, name: str) -> Any:
+        return self.model(name)
+
+    def charge_python(self, prop_name: str) -> None:
+        self.clock.charge(f"python:{prop_name}", PYTHON_PROPERTY_MS)
+
+    def count_reuse(self, prop_name: str) -> None:
+        self.reuse_stats.count(prop_name)
+
+    # -- shared per-frame computations ----------------------------------------------
+    def detect(self, model_name: str, frame: Frame) -> List[Detection]:
+        key = (model_name, frame.frame_id)
+        if key not in self._detections:
+            self._detections[key] = self.model(model_name).detect(frame, self.clock)
+        return self._detections[key]
+
+    def track(self, tracker_name: str, detector_name: str, frame: Frame, detections: Sequence[Detection]) -> List[Detection]:
+        key = (tracker_name, detector_name, frame.frame_id)
+        if key not in self._tracked:
+            tracker_key = (tracker_name, detector_name)
+            if tracker_key not in self._trackers:
+                self._trackers[tracker_key] = self.zoo.get(tracker_name, fresh=True)
+            tracker = self._trackers[tracker_key]
+            self._tracked[key] = tracker.update(list(detections), self.clock)
+        return self._tracked[key]
+
+    def interactions(self, model_name: str, subject: Detection, object_: Detection, frame: Frame) -> Tuple[str, ...]:
+        key = (model_name, subject, object_)
+        if key not in self._interactions:
+            model = self.model(model_name)
+            preds = model.predict([subject], [object_], frame, self.clock)
+            self._interactions[key] = tuple(p.kind for p in preds)
+        return self._interactions[key]
+
+    # -- state management --------------------------------------------------------------
+    def track_state(self, vobj_type: type, track_id: Optional[int]) -> Optional[TrackState]:
+        if track_id is None:
+            return None
+        key = (vobj_type, track_id)
+        if key not in self._track_states:
+            self._track_states[key] = TrackState(vobj_type, track_id)
+        return self._track_states[key]
+
+    def vobj_state(self, vobj_type: type, detection: Detection, frame: Frame) -> VObjState:
+        key = (vobj_type, detection)
+        state = self._vobj_states.get(key)
+        if state is None:
+            state = VObjState(
+                vobj_type,
+                detection,
+                frame,
+                self,
+                track_state=self.track_state(vobj_type, detection.track_id),
+            )
+            self._vobj_states[key] = state
+        return state
+
+    def scene_state(self, scene_type: type, frame: Frame) -> SceneState:
+        return SceneState(scene_type, frame, self)
+
+    def relation_state(self, relation_type: type, subject: VObjState, object_: VObjState, frame: Frame) -> RelationState:
+        return RelationState(relation_type, subject, object_, frame, self)
+
+    # -- housekeeping -------------------------------------------------------------------
+    def release_frame(self, frame_id: int) -> None:
+        """Drop per-frame caches once a frame has been fully processed."""
+        self._detections = {k: v for k, v in self._detections.items() if k[1] != frame_id}
+        self._tracked = {k: v for k, v in self._tracked.items() if k[2] != frame_id}
+        self._vobj_states = {k: v for k, v in self._vobj_states.items() if v.frame.frame_id != frame_id}
+        self._interactions = {
+            k: v for k, v in self._interactions.items() if k[1].frame_id != frame_id
+        }

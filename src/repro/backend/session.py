@@ -1,0 +1,108 @@
+"""The public entry point for running VQPy queries: :class:`QuerySession`.
+
+A session binds a video, a model zoo, and a planner configuration::
+
+    from repro import QuerySession
+    from repro.videosim import datasets
+
+    video = datasets.camera_clip("banff", duration_s=60)
+    session = QuerySession(video)
+    result = session.execute(RedCarQuery())
+
+``execute_many`` runs several queries in one pass over the video with a
+shared execution context, which is the paper's query-level computation reuse
+(§4.2, evaluated in §5.3 as "VQPy-Opt").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend.executor import Executor
+from repro.backend.plan import QueryPlan
+from repro.backend.planner import Planner, PlannerConfig
+from repro.backend.results import QueryResult
+from repro.backend.runtime import ExecutionContext
+from repro.common.clock import SimClock
+from repro.common.errors import PlanError
+from repro.frontend.higher_order import DurationQuery, TemporalQuery
+from repro.frontend.query import Query
+from repro.frontend.registry import get_library_zoo
+from repro.models.zoo import ModelZoo
+from repro.videosim.video import SyntheticVideo
+
+
+class QuerySession:
+    """Plans and executes queries against one video."""
+
+    def __init__(
+        self,
+        video: SyntheticVideo,
+        zoo: Optional[ModelZoo] = None,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        self.video = video
+        self.zoo = zoo or get_library_zoo()
+        self.config = config or PlannerConfig()
+        self.planner = Planner(self.zoo, self.config)
+        self.executor = Executor(self.config)
+        #: The context of the most recent execution (cost breakdown, reuse stats).
+        self.last_context: Optional[ExecutionContext] = None
+
+    # -- planning ---------------------------------------------------------------
+    def plan(self, query: Query) -> QueryPlan:
+        """Plan a query without executing it (useful for DAG inspection)."""
+        if isinstance(query, TemporalQuery):
+            raise PlanError(
+                "TemporalQuery is executed as a composition of its sub-queries; "
+                "plan the sub-queries individually to inspect their DAGs"
+            )
+        return self.planner.plan(query, self.video)
+
+    def explain(self, query: Query) -> str:
+        """A human-readable rendering of the chosen operator DAG."""
+        return self.plan(query).describe()
+
+    # -- execution ----------------------------------------------------------------
+    def _new_context(self, clock: Optional[SimClock] = None) -> ExecutionContext:
+        return ExecutionContext(
+            self.video, self.zoo, clock=clock, reuse_enabled=self.config.enable_reuse
+        )
+
+    def execute(self, query: Query, clock: Optional[SimClock] = None) -> QueryResult:
+        """Execute one query over the session's video."""
+        ctx = self._new_context(clock)
+        self.last_context = ctx
+        return self.executor.execute(query, self.video, ctx, self.planner)
+
+    def execute_many(self, queries: Sequence[Query], clock: Optional[SimClock] = None) -> List[QueryResult]:
+        """Execute several queries in a single pass with shared computation.
+
+        Basic and spatial queries are batched through one video scan;
+        higher-order duration/temporal queries are composed afterwards but
+        still share the same execution context (and therefore the cached
+        detector/tracker/property results).
+        """
+        ctx = self._new_context(clock)
+        self.last_context = ctx
+
+        simple: List[Query] = []
+        composite: List[Query] = []
+        for query in queries:
+            (composite if isinstance(query, (DurationQuery, TemporalQuery)) else simple).append(query)
+
+        results: Dict[int, QueryResult] = {}
+        if simple:
+            plans = [self.planner.plan(q, self.video) for q in simple]
+            for query, result in zip(simple, self.executor.execute_plans(plans, self.video, ctx)):
+                results[id(query)] = result
+        for query in composite:
+            results[id(query)] = self.executor.execute(query, self.video, ctx, self.planner)
+        return [results[id(q)] for q in queries]
+
+    # -- reporting ---------------------------------------------------------------
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Virtual-ms breakdown (by model/operator) of the last execution."""
+        if self.last_context is None:
+            return {}
+        return self.last_context.clock.breakdown()

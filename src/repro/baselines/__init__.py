@@ -1,0 +1,17 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.handcrafted` — a CVIP-style handcrafted pipeline
+  that runs every attribute model on every cropped object of every frame and
+  filters at the very end (§5.1).
+* :mod:`repro.baselines.sqlengine` — a miniature EVA-like SQL video DBMS
+  with tables, UDFs, lateral ``EXTRACT_OBJECT`` joins, and no object-level
+  memoisation (§5.2).
+* :mod:`repro.baselines.mllm_baseline` — the VideoChat-style MLLM question
+  answering flow (§5.3).
+"""
+
+from repro.baselines.handcrafted import CVIPPipeline
+from repro.baselines.mllm_baseline import MLLMBaseline
+from repro.baselines.sqlengine import SQLEngine
+
+__all__ = ["CVIPPipeline", "MLLMBaseline", "SQLEngine"]

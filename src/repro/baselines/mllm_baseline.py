@@ -1,0 +1,155 @@
+"""MLLM (VideoChat-style) baseline workflow for the §5.3 comparison.
+
+VideoChat answers questions about a whole clip, not individual frames, and
+its GPU memory grows with clip length — so, exactly as the paper had to, the
+baseline splits a long video into one-second clips, pre-computes each clip's
+embedding, and asks every question per clip.  Images (the V-COCO setting)
+are handled one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.clock import SimClock
+from repro.common.config import VideoSpec
+from repro.models.mllm import MLLMVariantProfile, VideoChatSim
+from repro.videosim.video import SyntheticVideo
+
+
+@dataclass
+class MLLMAnswerSet:
+    """Per-clip answers plus the cost of producing them."""
+
+    question_id: str
+    answers: List[Optional[object]] = field(default_factory=list)
+    truths: List[object] = field(default_factory=list)
+    precompute_ms: float = 0.0
+    query_ms: float = 0.0
+    num_frames: int = 0
+
+    @property
+    def ms_per_frame(self) -> float:
+        if self.num_frames == 0:
+            return 0.0
+        return self.query_ms / self.num_frames
+
+    @property
+    def precompute_ms_per_frame(self) -> float:
+        if self.num_frames == 0:
+            return 0.0
+        return self.precompute_ms / self.num_frames
+
+
+def split_into_clips(video: SyntheticVideo, clip_seconds: float = 1.0) -> List[SyntheticVideo]:
+    """Split a video into consecutive fixed-length clips (last may be shorter).
+
+    Each clip reuses the parent's scripted objects but covers a shifted frame
+    window, implemented by offsetting every object's enter/exit frames.
+    """
+    clips: List[SyntheticVideo] = []
+    frames_per_clip = max(int(round(clip_seconds * video.fps)), 1)
+    num_clips = (video.num_frames + frames_per_clip - 1) // frames_per_clip
+    for i in range(num_clips):
+        start = i * frames_per_clip
+        length = min(frames_per_clip, video.num_frames - start)
+        spec = VideoSpec(
+            f"{video.spec.name}_clip{i:04d}",
+            video.fps,
+            video.spec.width,
+            video.spec.height,
+            duration_s=length / video.fps,
+        )
+        clips.append(_ClipView(spec, video, start))
+    return clips
+
+
+class _ClipView(SyntheticVideo):
+    """A window onto a parent video: frame ``k`` maps to parent ``offset + k``."""
+
+    def __init__(self, spec: VideoSpec, parent: SyntheticVideo, offset: int) -> None:
+        super().__init__(spec, objects=[], events=[], scene_attributes=parent.scene_attributes, seed=parent.seed)
+        self._parent = parent
+        self._offset = offset
+
+    def frame(self, frame_id: int):
+        if not 0 <= frame_id < self.num_frames:
+            raise IndexError(frame_id)
+        parent_frame = self._parent.frame(self._offset + frame_id)
+        return parent_frame
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+
+class MLLMBaseline:
+    """Runs VideoChat-style question answering over clip splits."""
+
+    def __init__(self, sim: VideoChatSim, clip_seconds: float = 1.0) -> None:
+        self.sim = sim
+        self.clip_seconds = clip_seconds
+
+    def boolean_over_video(
+        self,
+        video: SyntheticVideo,
+        question_id: str,
+        truth_fn: Callable[[SyntheticVideo], bool],
+        clock: Optional[SimClock] = None,
+    ) -> MLLMAnswerSet:
+        """Ask a yes/no question about every one-second clip of the video."""
+        clock = clock or SimClock()
+        result = MLLMAnswerSet(question_id=question_id, num_frames=video.num_frames)
+        for clip in split_into_clips(video, self.clip_seconds):
+            pre_start = clock.snapshot()
+            self.sim.precompute(clip, clock)
+            result.precompute_ms += clock.since(pre_start)
+            truth = truth_fn(clip)
+            q_start = clock.snapshot()
+            answer = self.sim.answer_boolean(question_id, truth, clock)
+            result.query_ms += clock.since(q_start)
+            result.answers.append(answer)
+            result.truths.append(truth)
+        return result
+
+    def count_over_video(
+        self,
+        video: SyntheticVideo,
+        question_id: str,
+        truth_fn: Callable[[SyntheticVideo], float],
+        clock: Optional[SimClock] = None,
+    ) -> MLLMAnswerSet:
+        """Ask an aggregation question about every one-second clip."""
+        clock = clock or SimClock()
+        result = MLLMAnswerSet(question_id=question_id, num_frames=video.num_frames)
+        for clip in split_into_clips(video, self.clip_seconds):
+            pre_start = clock.snapshot()
+            self.sim.precompute(clip, clock)
+            result.precompute_ms += clock.since(pre_start)
+            truth = truth_fn(clip)
+            q_start = clock.snapshot()
+            answer = self.sim.answer_count(question_id, truth, clock)
+            result.query_ms += clock.since(q_start)
+            result.answers.append(answer)
+            result.truths.append(truth)
+        return result
+
+    def boolean_over_images(
+        self,
+        images: Sequence[SyntheticVideo],
+        question_id: str,
+        truth_fn: Callable[[SyntheticVideo], bool],
+        clock: Optional[SimClock] = None,
+    ) -> MLLMAnswerSet:
+        """Ask a yes/no question about each image (the Q6 / V-COCO setting)."""
+        clock = clock or SimClock()
+        result = MLLMAnswerSet(question_id=question_id, num_frames=len(images))
+        for image in images:
+            truth = truth_fn(image)
+            q_start = clock.snapshot()
+            answer = self.sim.answer_image_boolean(question_id, image, truth, clock)
+            result.query_ms += clock.since(q_start)
+            result.answers.append(answer)
+            result.truths.append(truth)
+        return result

@@ -1,0 +1,27 @@
+"""A miniature EVA-like SQL video DBMS (the §5.2 baseline).
+
+The engine deliberately mirrors the structural properties the paper blames
+for EVA's slowness:
+
+* the data model is **tabular** — every detected object on every frame is an
+  independent row, and there is no notion of a persistent video object, so
+  per-object memoisation of property UDFs is impossible;
+* UDFs are evaluated **per row** with a fixed invocation overhead (the
+  pandas-DataFrame wrapping EVA requires);
+* stateful properties (speed) require materialising lagged tables and
+  **joining** them back;
+* each ``CREATE TABLE ... AS SELECT`` **materialises eagerly**; filters in a
+  later statement cannot be pushed into an earlier one (no views), unless
+  the user rewrites the SQL by hand — the "EVA (refined)" variant.
+
+The SQL surface supports the statement shapes used in the paper's appendix
+(Figures 20, 22, 24): ``LOAD VIDEO``, ``CREATE FUNCTION``, ``CREATE TABLE AS
+SELECT``, ``SELECT`` with inner joins and ``JOIN LATERAL
+UNNEST(EXTRACT_OBJECT(...))``, ``WHERE`` conjunctions, and ``DROP``.
+"""
+
+from repro.baselines.sqlengine.engine import SQLEngine
+from repro.baselines.sqlengine.relational import Table
+from repro.baselines.sqlengine.parser import parse_statements
+
+__all__ = ["SQLEngine", "Table", "parse_statements"]

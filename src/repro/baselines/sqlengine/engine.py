@@ -1,0 +1,287 @@
+"""The EVA-like SQL engine: statement execution over a tabular data model.
+
+Cost model
+----------
+Besides the simulated model costs charged inside UDFs (detection, colour,
+tracking, ...), the engine charges the structural overheads that the paper
+identifies as EVA's weaknesses:
+
+* ``UDF_CALL_OVERHEAD_MS`` per UDF invocation per row — EVA passes crops and
+  boxes through pandas DataFrames, so every row pays a wrapping cost;
+* ``SCAN_MS_PER_ROW`` for reading a materialised table;
+* ``MATERIALIZE_MS_PER_ROW`` for writing one (``CREATE TABLE AS`` is eager);
+* ``JOIN_MS_PER_ROW`` per joined output row.
+
+Because the data model has no object identity, a property UDF (e.g. colour)
+is re-evaluated for the same physical car on every frame — the object-level
+memoisation VQPy performs is structurally unavailable here (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.baselines.sqlengine.parser import (
+    CreateFunction,
+    CreateTableAs,
+    DropFunction,
+    DropTable,
+    Join,
+    Lateral,
+    LoadVideo,
+    Select,
+    Statement,
+    parse_statements,
+)
+from repro.baselines.sqlengine.relational import ColumnRef, FuncCall, SQLExpr, Table, UDF
+from repro.common.clock import SimClock
+from repro.common.errors import SQLEngineError
+from repro.models.zoo import ModelZoo
+from repro.videosim.video import SyntheticVideo
+
+#: Structural overheads (virtual ms); see module docstring.
+UDF_CALL_OVERHEAD_MS = 2.0
+SCAN_MS_PER_ROW = 0.02
+MATERIALIZE_MS_PER_ROW = 0.10
+JOIN_MS_PER_ROW = 0.05
+#: Extra cost of EVA's Crop builtin: slicing the frame and converting the
+#: crop into the pandas payload the property UDF consumes.
+CROP_MS = 10.0
+
+#: Detector/tracker names EVA exposes inside EXTRACT_OBJECT, mapped onto the
+#: simulated zoo models.
+_DETECTOR_ALIASES = {"yolo": "yolox", "yolox": "yolox", "yolov8m": "yolov8m", "yolov5s": "yolov5s"}
+_TRACKER_ALIASES = {"norfairtracker": "norfair_tracker", "norfair": "norfair_tracker", "kalman": "kalman_tracker"}
+
+
+class SQLEngine:
+    """Executes the supported SQL subset against synthetic videos."""
+
+    def __init__(self, zoo: ModelZoo, clock: Optional[SimClock] = None, seed: int = 0) -> None:
+        self.zoo = zoo
+        self.clock = clock if clock is not None else SimClock()
+        self.seed = seed
+        self.tables: Dict[str, Table] = {}
+        self.videos: Dict[str, SyntheticVideo] = {}
+        self.functions: Dict[str, UDF] = {}
+        self._available_impls: Dict[str, UDF] = {}
+        self._register_builtin_impls()
+
+    # ------------------------------------------------------------------- UDFs --
+    def _register_builtin_impls(self) -> None:
+        """UDF implementations that CREATE FUNCTION can bind to by name."""
+        color_model = self.zoo.get("color_detect", fresh=True)
+        speed_model = self.zoo.get("speed_estimator", fresh=True)
+
+        def color_impl(crop, *, row, engine):
+            detection = crop if crop is not None else row.get("_detection")
+            if detection is None:
+                return "unknown"
+            return color_model.predict(detection, row["_frame"], engine.clock)
+
+        def velocity_impl(bbox, last_bbox, *, row, engine):
+            if bbox is None or last_bbox is None:
+                return 0.0
+            return speed_model.predict([last_bbox, bbox], engine.clock)
+
+        def add1_impl(frame_id, iid, bbox, *, row, engine):
+            # EVA-style lag helper: emit the row keyed to the *next* frame so
+            # joining on added_id = id pairs each detection with its previous
+            # frame's box.
+            return {"added_id": frame_id + 1, "cur_iid": iid, "last_bbox": bbox}
+
+        def crop_impl(data, bbox, *, row, engine):
+            return row.get("_detection")
+
+        self._available_impls = {
+            "color": UDF("Color", color_impl),
+            "velocity": UDF("Velocity", velocity_impl),
+            "add1": UDF("Add1", add1_impl),
+        }
+        # Crop is always available without CREATE FUNCTION (EVA builtin).
+        self.functions["crop"] = UDF("Crop", crop_impl, extra_cost_ms=CROP_MS)
+
+    def call_function(self, name: str, args: Sequence[Any], row: Dict[str, Any]) -> Any:
+        udf = self.functions.get(name.lower())
+        if udf is None:
+            raise SQLEngineError(f"unknown function {name!r}; did you CREATE FUNCTION it?")
+        self.clock.charge(f"sql:udf_overhead:{udf.name}", UDF_CALL_OVERHEAD_MS + udf.extra_cost_ms)
+        return udf(args, row, self)
+
+    # -------------------------------------------------------------- statements --
+    def execute(self, sql: str) -> List[Dict[str, Any]]:
+        """Execute a script of SQL statements; returns the last SELECT's rows."""
+        result: List[Dict[str, Any]] = []
+        for statement in parse_statements(sql):
+            out = self.execute_statement(statement)
+            if out is not None:
+                result = out
+        return result
+
+    def execute_statement(self, statement: Statement) -> Optional[List[Dict[str, Any]]]:
+        if isinstance(statement, LoadVideo):
+            return self._load_video(statement)
+        if isinstance(statement, CreateFunction):
+            return self._create_function(statement)
+        if isinstance(statement, CreateTableAs):
+            rows, columns = self._run_select(statement.select)
+            self.tables[statement.name.lower()] = Table(statement.name.lower(), columns, rows)
+            self.clock.charge("sql:materialize", MATERIALIZE_MS_PER_ROW * len(rows))
+            return None
+        if isinstance(statement, Select):
+            rows, _ = self._run_select(statement)
+            return [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+        if isinstance(statement, DropTable):
+            if statement.name.lower() not in self.tables and not statement.if_exists:
+                raise SQLEngineError(f"table {statement.name!r} does not exist")
+            self.tables.pop(statement.name.lower(), None)
+            self.videos.pop(statement.name.lower(), None)
+            return None
+        if isinstance(statement, DropFunction):
+            if statement.name.lower() not in self.functions and not statement.if_exists:
+                raise SQLEngineError(f"function {statement.name!r} does not exist")
+            self.functions.pop(statement.name.lower(), None)
+            return None
+        raise SQLEngineError(f"unsupported statement {statement!r}")
+
+    # -------------------------------------------------------------------- video --
+    def register_video(self, path: str, video: SyntheticVideo) -> None:
+        """Make a synthetic video available under a path for LOAD VIDEO."""
+        self._available_videos = getattr(self, "_available_videos", {})
+        self._available_videos[path] = video
+
+    def _load_video(self, statement: LoadVideo) -> None:
+        available = getattr(self, "_available_videos", {})
+        if statement.path not in available:
+            raise SQLEngineError(
+                f"no video registered under {statement.path!r}; call register_video() first"
+            )
+        self.videos[statement.table.lower()] = available[statement.path]
+        return None
+
+    def _create_function(self, statement: CreateFunction) -> None:
+        impl = self._available_impls.get(statement.name.lower())
+        if impl is None:
+            raise SQLEngineError(
+                f"no implementation available for function {statement.name!r}; "
+                f"known implementations: {sorted(self._available_impls)}"
+            )
+        self.functions[statement.name.lower()] = impl
+        return None
+
+    # -------------------------------------------------------------------- select --
+    def _source_rows(self, select: Select) -> List[Dict[str, Any]]:
+        name = select.from_table.lower()
+        if name in self.videos:
+            return self._video_rows(name, select.lateral)
+        if name in self.tables:
+            table = self.tables[name]
+            self.clock.charge("sql:scan", SCAN_MS_PER_ROW * table.num_rows)
+            return [dict(row, **{f"{name}.{k}": v for k, v in row.items() if not k.startswith("_")}) for row in table.rows]
+        raise SQLEngineError(f"unknown table or video {select.from_table!r}")
+
+    def _video_rows(self, name: str, lateral: Optional[Lateral]) -> List[Dict[str, Any]]:
+        video = self.videos[name]
+        if lateral is None:
+            rows = [{"id": f.frame_id, "data": f, "_frame": f} for f in video.frames()]
+            self.clock.charge("sql:scan", SCAN_MS_PER_ROW * len(rows))
+            return rows
+        detector_name = _DETECTOR_ALIASES.get(lateral.detector.lower())
+        tracker_name = _TRACKER_ALIASES.get(lateral.tracker.lower())
+        if detector_name is None or tracker_name is None:
+            raise SQLEngineError(
+                f"EXTRACT_OBJECT supports detectors {sorted(_DETECTOR_ALIASES)} and trackers {sorted(_TRACKER_ALIASES)}"
+            )
+        detector = self.zoo.get(detector_name, fresh=True)
+        tracker = self.zoo.get(tracker_name, fresh=True)
+        rows: List[Dict[str, Any]] = []
+        for frame in video.frames():
+            detections = detector.detect(frame, self.clock)
+            tracked = tracker.update(detections, self.clock)
+            for det in tracked:
+                row = {
+                    "id": frame.frame_id,
+                    "data": frame,
+                    "iid": det.track_id,
+                    "label": det.class_name,
+                    "bbox": det.bbox,
+                    "score": det.score,
+                    "_frame": frame,
+                    "_detection": det,
+                }
+                for col in ("iid", "label", "bbox", "score"):
+                    row[f"{lateral.alias.lower()}.{col}"] = row[col]
+                rows.append(row)
+        self.clock.charge("sql:scan", SCAN_MS_PER_ROW * len(rows))
+        return rows
+
+    def _apply_joins(self, rows: List[Dict[str, Any]], joins: List[Join]) -> List[Dict[str, Any]]:
+        for join in joins:
+            right_name = join.table.lower()
+            right = self.tables.get(right_name)
+            if right is None:
+                raise SQLEngineError(f"unknown table {join.table!r} in JOIN")
+            self.clock.charge("sql:scan", SCAN_MS_PER_ROW * right.num_rows)
+            # Hash join on the first equality; remaining equalities filter.
+            first_left, first_right = join.on[0]
+            build: Dict[Any, List[Dict[str, Any]]] = {}
+            for row in right.rows:
+                qualified = dict(row, **{f"{right_name}.{k}": v for k, v in row.items() if not k.startswith("_")})
+                key = _resolve(qualified, first_right) if _has(qualified, first_right) else _resolve(qualified, first_left)
+                build.setdefault(key, []).append(qualified)
+            joined: List[Dict[str, Any]] = []
+            for row in rows:
+                key = _resolve(row, first_left) if _has(row, first_left) else _resolve(row, first_right)
+                for candidate in build.get(key, ()):  # matching right rows
+                    merged = {**candidate, **row}
+                    if all(_resolve(merged, l) == _resolve(merged, r) for l, r in join.on[1:]):
+                        joined.append(merged)
+            self.clock.charge("sql:join", JOIN_MS_PER_ROW * max(len(joined), 1))
+            rows = joined
+        return rows
+
+    def _run_select(self, select: Select) -> tuple[List[Dict[str, Any]], List[str]]:
+        rows = self._source_rows(select)
+        rows = self._apply_joins(rows, select.joins)
+
+        # WHERE: evaluated per row, over the full conjunction — the engine
+        # has no per-conjunct short-circuiting of UDF work beyond Python's
+        # `and` semantics on the already-materialised columns.
+        if select.where:
+            rows = [row for row in rows if all(cond.evaluate(row, self) for cond in select.where)]
+
+        # Projection.
+        out_rows: List[Dict[str, Any]] = []
+        columns: List[str] = []
+        for row in rows:
+            out: Dict[str, Any] = {}
+            for item in select.items:
+                if isinstance(item, ColumnRef) and item.name == "*":
+                    out.update({k: v for k, v in row.items() if not k.startswith("_") and "." not in k})
+                    continue
+                value = item.evaluate(row, self)
+                if isinstance(value, dict):
+                    out.update(value)
+                else:
+                    out[item.output_name()] = value
+            # Hidden columns survive into materialised tables so later UDFs
+            # (e.g. Color over a crop) can still reach the frame/detection.
+            for hidden in ("_frame", "_detection"):
+                if hidden in row:
+                    out[hidden] = row[hidden]
+            out_rows.append(out)
+            if not columns:
+                columns = list(out.keys())
+        return out_rows, columns
+
+
+def _has(row: Dict[str, Any], column: str) -> bool:
+    key = column.lower()
+    return key in row or key.split(".")[-1] in row
+
+
+def _resolve(row: Dict[str, Any], column: str) -> Any:
+    key = column.lower()
+    if key in row:
+        return row[key]
+    return row.get(key.split(".")[-1])

@@ -1,0 +1,316 @@
+"""A parser for the SQL subset used by the EVA-style workloads.
+
+The grammar covers exactly the statement shapes of the paper's appendix
+(Figures 20, 22, 24):
+
+* ``LOAD VIDEO '<path>' INTO <table>;``
+* ``CREATE FUNCTION <name> IMPL '<path>';``
+* ``CREATE TABLE <name> AS <select>;``
+* ``SELECT <items> FROM <table> [JOIN <table> ON <eq> [AND <eq>]...]
+  [JOIN LATERAL UNNEST(EXTRACT_OBJECT(<col>, <detector>, <tracker>))
+  AS <alias>(<cols>)] [WHERE <predicates>];``
+* ``DROP TABLE [IF EXISTS] <name>;`` / ``DROP FUNCTION [IF EXISTS] <name>;``
+
+The parser is deliberately small — it tokenises, then uses recursive descent
+for expressions (identifiers, dotted columns, literals, nested function
+calls, comparisons, AND-conjunctions).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.baselines.sqlengine.relational import ColumnRef, FuncCall, SQLComparison, SQLExpr, SQLLiteral
+from repro.common.errors import SQLEngineError
+
+
+# ---------------------------------------------------------------------------
+# Statement dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadVideo:
+    path: str
+    table: str
+
+
+@dataclass
+class CreateFunction:
+    name: str
+    impl: str
+
+
+@dataclass
+class Lateral:
+    """``JOIN LATERAL UNNEST(EXTRACT_OBJECT(col, Detector, Tracker)) AS T(cols)``."""
+
+    data_column: str
+    detector: str
+    tracker: str
+    alias: str
+    columns: List[str]
+
+
+@dataclass
+class Join:
+    table: str
+    on: List[Tuple[str, str]]
+
+
+@dataclass
+class Select:
+    items: List[SQLExpr]
+    from_table: str
+    joins: List[Join] = field(default_factory=list)
+    lateral: Optional[Lateral] = None
+    where: List[SQLExpr] = field(default_factory=list)
+
+
+@dataclass
+class CreateTableAs:
+    name: str
+    select: Select
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class DropFunction:
+    name: str
+    if_exists: bool = False
+
+
+Statement = Any
+
+
+# ---------------------------------------------------------------------------
+# Tokeniser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']*)'            |   # quoted string
+        >=|<=|!=|<>            |   # two-char operators
+        [(),;=<>*]             |   # punctuation / single-char operators
+        [A-Za-z_][\w.]*        |   # identifiers (possibly dotted)
+        -?\d+\.\d+|-?\d+           # numbers
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(sql: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if not match:
+            if sql[pos:].strip() == "":
+                break
+            raise SQLEngineError(f"cannot tokenise SQL near: {sql[pos:pos + 30]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLEngineError("unexpected end of SQL statement")
+        self.pos += 1
+        return token
+
+    def expect(self, *expected: str) -> str:
+        token = self.next()
+        if token.upper() not in {e.upper() for e in expected}:
+            raise SQLEngineError(f"expected {expected}, got {token!r}")
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.upper() == keyword.upper():
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+# ---------------------------------------------------------------------------
+# Expression parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_expr(stream: _TokenStream) -> SQLExpr:
+    token = stream.next()
+    if token.startswith("'") and token.endswith("'"):
+        return SQLLiteral(token[1:-1])
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return SQLLiteral(float(token))
+    if re.fullmatch(r"-?\d+", token):
+        return SQLLiteral(int(token))
+    if token == "*":
+        return ColumnRef("*")
+    if not re.fullmatch(r"[A-Za-z_][\w.]*", token):
+        raise SQLEngineError(f"unexpected token {token!r} in expression")
+    # Function call?
+    if stream.peek() == "(":
+        stream.next()  # consume "("
+        args: List[SQLExpr] = []
+        if stream.peek() != ")":
+            args.append(_parse_expr(stream))
+            while stream.accept(","):
+                args.append(_parse_expr(stream))
+        stream.expect(")")
+        return FuncCall(token, args)
+    return ColumnRef(token)
+
+
+def _parse_condition(stream: _TokenStream) -> SQLExpr:
+    left = _parse_expr(stream)
+    op = stream.peek()
+    if op in ("=", "!=", "<>", ">", ">=", "<", "<="):
+        stream.next()
+        right = _parse_expr(stream)
+        return SQLComparison(left, op, right)
+    return left
+
+
+def _parse_conditions(stream: _TokenStream) -> List[SQLExpr]:
+    conditions = [_parse_condition(stream)]
+    while stream.accept("AND"):
+        conditions.append(_parse_condition(stream))
+    return conditions
+
+
+# ---------------------------------------------------------------------------
+# Statement parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_select(stream: _TokenStream) -> Select:
+    stream.expect("SELECT")
+    items = [_parse_expr(stream)]
+    while stream.accept(","):
+        items.append(_parse_expr(stream))
+    stream.expect("FROM")
+    from_table = stream.next()
+
+    joins: List[Join] = []
+    lateral: Optional[Lateral] = None
+    while stream.peek() is not None and stream.peek().upper() == "JOIN":
+        stream.next()
+        if stream.peek() is not None and stream.peek().upper() == "LATERAL":
+            stream.next()
+            stream.expect("UNNEST")
+            stream.expect("(")
+            stream.expect("EXTRACT_OBJECT")
+            stream.expect("(")
+            data_column = stream.next()
+            stream.expect(",")
+            detector = stream.next()
+            stream.expect(",")
+            tracker = stream.next()
+            stream.expect(")")
+            stream.expect(")")
+            stream.expect("AS")
+            alias = stream.next()
+            stream.expect("(")
+            columns = [stream.next()]
+            while stream.accept(","):
+                columns.append(stream.next())
+            stream.expect(")")
+            lateral = Lateral(data_column, detector, tracker, alias, columns)
+        else:
+            table = stream.next()
+            stream.expect("ON")
+            on: List[Tuple[str, str]] = []
+            conditions = _parse_conditions(stream)
+            for cond in conditions:
+                if not isinstance(cond, SQLComparison) or cond.op != "=":
+                    raise SQLEngineError("JOIN ... ON only supports equality conditions")
+                if not isinstance(cond.left, ColumnRef) or not isinstance(cond.right, ColumnRef):
+                    raise SQLEngineError("JOIN ... ON conditions must compare columns")
+                on.append((cond.left.name, cond.right.name))
+            joins.append(Join(table, on))
+
+    where: List[SQLExpr] = []
+    if stream.accept("WHERE"):
+        where = _parse_conditions(stream)
+    return Select(items=items, from_table=from_table, joins=joins, lateral=lateral, where=where)
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse a single SQL statement (without a trailing semicolon)."""
+    stream = _TokenStream(_tokenize(sql))
+    head = stream.peek()
+    if head is None:
+        raise SQLEngineError("empty SQL statement")
+    head = head.upper()
+
+    if head == "LOAD":
+        stream.expect("LOAD")
+        stream.expect("VIDEO")
+        path = stream.next().strip("'")
+        stream.expect("INTO")
+        return LoadVideo(path=path, table=stream.next())
+
+    if head == "CREATE":
+        stream.expect("CREATE")
+        kind = stream.next().upper()
+        if kind == "FUNCTION":
+            name = stream.next()
+            stream.expect("IMPL")
+            return CreateFunction(name=name, impl=stream.next().strip("'"))
+        if kind == "TABLE":
+            name = stream.next()
+            stream.expect("AS")
+            return CreateTableAs(name=name, select=_parse_select(stream))
+        raise SQLEngineError(f"unsupported CREATE {kind}")
+
+    if head == "SELECT":
+        return _parse_select(stream)
+
+    if head == "DROP":
+        stream.expect("DROP")
+        kind = stream.next().upper()
+        if_exists = False
+        if stream.accept("IF"):
+            stream.expect("EXISTS")
+            if_exists = True
+        name = stream.next()
+        if kind == "TABLE":
+            return DropTable(name=name, if_exists=if_exists)
+        if kind == "FUNCTION":
+            return DropFunction(name=name, if_exists=if_exists)
+        raise SQLEngineError(f"unsupported DROP {kind}")
+
+    raise SQLEngineError(f"unsupported statement starting with {head!r}")
+
+
+def parse_statements(sql: str) -> List[Statement]:
+    """Parse a script of semicolon-separated statements."""
+    statements: List[Statement] = []
+    for chunk in sql.split(";"):
+        if chunk.strip():
+            statements.append(parse_statement(chunk))
+    return statements

@@ -1,0 +1,152 @@
+"""Relational primitives for the mini SQL engine: tables, expressions, UDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import SQLEngineError
+
+
+class Table:
+    """A materialised table: ordered column names plus rows (dicts).
+
+    Rows may carry hidden columns (prefixed with ``_``) used by UDFs (e.g.
+    the simulated detection object behind a bounding box); these never show
+    up in query outputs.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str], rows: Optional[List[Dict[str, Any]]] = None) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.rows: List[Dict[str, Any]] = rows or []
+
+    def insert(self, row: Dict[str, Any]) -> None:
+        self.rows.append(row)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def visible_columns(self) -> List[str]:
+        return [c for c in self.columns if not c.startswith("_")]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} cols={self.visible_columns()} rows={self.num_rows}>"
+
+
+# ---------------------------------------------------------------------------
+# Expression AST
+# ---------------------------------------------------------------------------
+
+
+class SQLExpr:
+    """Base class for SQL expressions evaluated against one row."""
+
+    def evaluate(self, row: Dict[str, Any], engine: "Any") -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def output_name(self) -> str:
+        return "expr"
+
+
+@dataclass
+class ColumnRef(SQLExpr):
+    """A possibly-qualified column reference (``trackresult.bbox`` or ``bbox``)."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any], engine: Any) -> Any:
+        key = self.name.lower()
+        if key in row:
+            return row[key]
+        # Fall back to the unqualified name.
+        short = key.split(".")[-1]
+        if short in row:
+            return row[short]
+        raise SQLEngineError(f"unknown column {self.name!r}; row has {sorted(k for k in row if not k.startswith('_'))}")
+
+    def output_name(self) -> str:
+        return self.name.lower().split(".")[-1]
+
+
+@dataclass
+class SQLLiteral(SQLExpr):
+    value: Any
+
+    def evaluate(self, row: Dict[str, Any], engine: Any) -> Any:
+        return self.value
+
+    def output_name(self) -> str:
+        return "literal"
+
+
+@dataclass
+class FuncCall(SQLExpr):
+    """A UDF (or builtin) invocation over argument expressions."""
+
+    name: str
+    args: List[SQLExpr] = field(default_factory=list)
+
+    def evaluate(self, row: Dict[str, Any], engine: Any) -> Any:
+        return engine.call_function(self.name, [a.evaluate(row, engine) for a in self.args], row)
+
+    def output_name(self) -> str:
+        return self.name.lower()
+
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass
+class SQLComparison(SQLExpr):
+    left: SQLExpr
+    op: str
+    right: SQLExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise SQLEngineError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, row: Dict[str, Any], engine: Any) -> bool:
+        try:
+            return bool(_OPS[self.op](self.left.evaluate(row, engine), self.right.evaluate(row, engine)))
+        except TypeError:
+            return False
+
+    def output_name(self) -> str:
+        return "condition"
+
+
+# ---------------------------------------------------------------------------
+# UDFs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UDF:
+    """A registered user-defined function.
+
+    ``func`` receives the evaluated arguments, plus keyword access to the
+    current row and the engine (for clock charging).  A UDF may return a
+    scalar (one output column named after the function) or a dict (one
+    column per key — EVA's dataframe-returning UDFs).
+    """
+
+    name: str
+    func: Callable[..., Any]
+    #: Additional per-call virtual cost charged on top of the engine's fixed
+    #: per-row UDF overhead (e.g. the wrapped model's own cost is charged by
+    #: the model itself).
+    extra_cost_ms: float = 0.0
+
+    def __call__(self, args: Sequence[Any], row: Dict[str, Any], engine: Any) -> Any:
+        return self.func(*args, row=row, engine=engine)

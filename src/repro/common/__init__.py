@@ -1,0 +1,19 @@
+"""Shared utilities: geometry, simulated clock, seeded randomness, errors."""
+
+from repro.common.geometry import BBox, iou, center_distance
+from repro.common.clock import SimClock, CostProfile
+from repro.common.rng import derive_rng, stable_hash
+from repro.common.errors import ReproError, PlanError, QueryDefinitionError
+
+__all__ = [
+    "BBox",
+    "iou",
+    "center_distance",
+    "SimClock",
+    "CostProfile",
+    "derive_rng",
+    "stable_hash",
+    "ReproError",
+    "PlanError",
+    "QueryDefinitionError",
+]

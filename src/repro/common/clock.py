@@ -1,0 +1,119 @@
+"""Simulated compute-cost accounting.
+
+The paper's evaluation compares wall-clock runtimes of pipelines whose cost
+is dominated by neural-network inference on a GPU.  We have no GPU and no
+real models, so every simulated model and operator charges *virtual
+milliseconds* to a :class:`SimClock`.  Virtual time is deterministic, which
+makes the reproduction's speedup ratios stable across machines, and it is
+itemised per model so experiments can report where time went.
+
+A :class:`CostProfile` describes how expensive a model invocation is:
+``base_ms`` per call plus ``per_item_ms`` per processed item (e.g. per crop
+for a property model, per frame-megapixel for a detector).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Virtual cost of one model invocation.
+
+    Parameters
+    ----------
+    base_ms:
+        Fixed overhead per invocation (kernel launch, preprocessing).
+    per_item_ms:
+        Marginal cost per item processed in the invocation (per crop, per
+        frame, per candidate pair, ...).
+    """
+
+    base_ms: float
+    per_item_ms: float = 0.0
+
+    def cost(self, n_items: int = 1) -> float:
+        """Virtual milliseconds charged for processing ``n_items`` items."""
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        return self.base_ms + self.per_item_ms * n_items
+
+    def scaled(self, factor: float) -> "CostProfile":
+        """A proportionally cheaper/more expensive profile (for model variants)."""
+        return CostProfile(self.base_ms * factor, self.per_item_ms * factor)
+
+
+@dataclass
+class SimClock:
+    """Accumulates virtual compute time, itemised by account name.
+
+    The clock is intentionally simple: a single global timeline.  Pipelines
+    that the paper parallelises across devices are still compared by total
+    compute, which is the quantity that dominates its single-GPU runtime
+    numbers.
+    """
+
+    elapsed_ms: float = 0.0
+    by_account: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    calls: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge(self, account: str, ms: float) -> None:
+        """Add ``ms`` virtual milliseconds under ``account``."""
+        if ms < 0:
+            raise ValueError("cannot charge negative time")
+        self.elapsed_ms += ms
+        self.by_account[account] += ms
+        self.calls[account] += 1
+
+    def charge_profile(self, account: str, profile: CostProfile, n_items: int = 1) -> float:
+        """Charge a :class:`CostProfile` and return the amount charged."""
+        ms = profile.cost(n_items)
+        self.charge(account, ms)
+        return ms
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ms / 1000.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-account virtual milliseconds, sorted descending."""
+        return dict(sorted(self.by_account.items(), key=lambda kv: -kv[1]))
+
+    def snapshot(self) -> float:
+        """Current elapsed time; use with :meth:`since` to time a region."""
+        return self.elapsed_ms
+
+    def since(self, snapshot: float) -> float:
+        """Virtual ms elapsed since ``snapshot``."""
+        return self.elapsed_ms - snapshot
+
+    @contextmanager
+    def region(self, account: str) -> Iterator[None]:
+        """Attribute all *additional* charges inside the block to ``account``.
+
+        This does not double-charge: it records the delta under a synthetic
+        ``region:<account>`` key for reporting only.
+        """
+        start = self.elapsed_ms
+        try:
+            yield
+        finally:
+            self.by_account[f"region:{account}"] += self.elapsed_ms - start
+
+    def reset(self) -> None:
+        self.elapsed_ms = 0.0
+        self.by_account = defaultdict(float)
+        self.calls = defaultdict(int)
+
+    def merge(self, other: "SimClock") -> None:
+        """Fold another clock's charges into this one (used by sub-pipelines)."""
+        self.elapsed_ms += other.elapsed_ms
+        for k, v in other.by_account.items():
+            self.by_account[k] += v
+        for k, v in other.calls.items():
+            self.calls[k] += v

@@ -1,0 +1,42 @@
+"""Global configuration dataclasses shared by the simulator and backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """Static description of a (synthetic) video stream.
+
+    Mirrors Table 3 in the paper: each camera is characterised by its frame
+    rate and resolution; clips additionally have a duration.
+    """
+
+    name: str
+    fps: int
+    width: int
+    height: int
+    duration_s: float
+
+    @property
+    def num_frames(self) -> int:
+        return int(round(self.fps * self.duration_s))
+
+    @property
+    def megapixels(self) -> float:
+        return self.width * self.height / 1e6
+
+    def with_duration(self, duration_s: float) -> "VideoSpec":
+        """The same camera recording for a different duration."""
+        return VideoSpec(self.name, self.fps, self.width, self.height, duration_s)
+
+
+@dataclass(frozen=True)
+class AccuracyTarget:
+    """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
+
+    min_f1: float = 0.9
+
+    def accepts(self, f1: float) -> bool:
+        return f1 >= self.min_f1

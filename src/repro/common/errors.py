@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class QueryDefinitionError(ReproError):
+    """A VObj / Relation / Query definition is malformed.
+
+    Raised at class-definition or query-construction time, e.g. when a
+    stateful property declares a dependency that does not exist, or a
+    higher-order query composition violates the composition rules of §3.
+    """
+
+
+class PlanError(ReproError):
+    """The planner could not build or optimize an operator DAG."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing an operator DAG."""
+
+
+class ModelError(ReproError):
+    """A simulated model was invoked with invalid inputs."""
+
+
+class SQLEngineError(ReproError):
+    """The miniature SQL engine (EVA baseline) rejected a statement."""

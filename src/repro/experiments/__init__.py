@@ -1,0 +1,11 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each module exposes ``run_*`` functions parameterised by a scale factor so
+the same code can run quickly in CI (scaled-down clips) or at the paper's
+nominal durations.  The returned structures carry the same rows/series the
+paper reports; ``format_*`` helpers render them as text tables.
+"""
+
+from repro.experiments import cityflow, eva_comparison, mllm_comparison, ablations
+
+__all__ = ["cityflow", "eva_comparison", "mllm_comparison", "ablations"]

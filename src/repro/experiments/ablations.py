@@ -1,0 +1,196 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+These do not correspond to a single paper figure; they isolate the effect of
+each optimization the paper describes:
+
+* §4.2 object-level (intrinsic) computation reuse,
+* §4.3 predicate pull-up and operator fusion,
+* §4.4 registered specialized NNs / binary classifiers,
+* §4.2/§5.3 query-level computation reuse (multi-query execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend.planner import PlannerConfig
+from repro.backend.session import QuerySession
+from repro.frontend.builtin import Car, RedCar
+from repro.frontend.query import Query
+from repro.frontend.registry import get_library_zoo
+from repro.metrics.accuracy import f1_score_sets
+from repro.metrics.runtime import RuntimeReport, speedup
+from repro.videosim.datasets import auburn_clip, camera_clip
+
+
+class _RedCarQuery(Query):
+    """Red cars via the generic Car VObj plus a colour predicate."""
+
+    def __init__(self) -> None:
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class _RedSuvQuery(Query):
+    """Red SUVs: two model-backed properties, so filter ordering matters.
+
+    With predicate pull-up the colour filter runs first and the (more
+    expensive) type model is only invoked for red vehicles; without it every
+    vehicle pays for both models every frame.
+    """
+
+    def __init__(self) -> None:
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red") & (self.car.vehicle_type == "suv")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class _RedCarVObjQuery(Query):
+    """Red cars via the RedCar VObj (specialized NN + binary classifier registered)."""
+
+    def __init__(self) -> None:
+        self.car = RedCar("red_car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.5) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+@dataclass
+class AblationRow:
+    configuration: str
+    total_ms: float
+    matched_frames: int
+    f1_vs_reference: Optional[float] = None
+
+    def speedup_vs(self, reference_ms: float) -> float:
+        return speedup(reference_ms, self.total_ms)
+
+
+@dataclass
+class AblationResult:
+    title: str
+    rows: List[AblationRow] = field(default_factory=list)
+
+    def row(self, configuration: str) -> AblationRow:
+        for r in self.rows:
+            if r.configuration == configuration:
+                return r
+        raise KeyError(configuration)
+
+    def to_report(self) -> RuntimeReport:
+        report = RuntimeReport(self.title, unit="virtual ms")
+        reference_ms = self.rows[0].total_ms if self.rows else 0.0
+        for row in self.rows:
+            report.add_row(
+                configuration=row.configuration,
+                total_ms=row.total_ms,
+                matched_frames=row.matched_frames,
+                speedup=f"{row.speedup_vs(reference_ms):.2f}x" if reference_ms else "n/a",
+                f1=row.f1_vs_reference if row.f1_vs_reference is not None else "",
+            )
+        return report
+
+
+def _run(video, query_factory, config: PlannerConfig) -> tuple:
+    session = QuerySession(video, zoo=get_library_zoo(), config=config)
+    result = session.execute(query_factory())
+    return result.total_ms, result.matched_frames
+
+
+def run_intrinsic_ablation(duration_s: float = 60.0, camera: str = "jackson", seed: int = 0) -> AblationResult:
+    """§4.2: intrinsic-property reuse on vs off (red-car query)."""
+    video = camera_clip(camera, duration_s, seed=seed)
+    base_cfg = PlannerConfig(enable_reuse=False, use_registered_filters=False, consider_specialized=False, profile_plans=False)
+    reuse_cfg = PlannerConfig(enable_reuse=True, use_registered_filters=False, consider_specialized=False, profile_plans=False)
+
+    result = AblationResult(title="Ablation — object-level computation reuse (intrinsic color)")
+    off_ms, off_frames = _run(video, _RedCarQuery, base_cfg)
+    on_ms, on_frames = _run(video, _RedCarQuery, reuse_cfg)
+    result.rows.append(AblationRow("reuse off", off_ms, len(off_frames)))
+    result.rows.append(
+        AblationRow("reuse on", on_ms, len(on_frames), f1_vs_reference=f1_score_sets(set(on_frames), set(off_frames)))
+    )
+    return result
+
+
+def run_planner_ablation(duration_s: float = 60.0, camera: str = "jackson", seed: int = 0) -> AblationResult:
+    """§4.3: predicate pull-up (lazy evaluation) and operator fusion."""
+    video = camera_clip(camera, duration_s, seed=seed)
+    configs = {
+        "no pull-up, no fusion": PlannerConfig(enable_lazy=False, enable_fusion=False, enable_reuse=False, use_registered_filters=False, consider_specialized=False, profile_plans=False),
+        "pull-up only": PlannerConfig(enable_lazy=True, enable_fusion=False, enable_reuse=False, use_registered_filters=False, consider_specialized=False, profile_plans=False),
+        "pull-up + fusion": PlannerConfig(enable_lazy=True, enable_fusion=True, enable_reuse=False, use_registered_filters=False, consider_specialized=False, profile_plans=False),
+        "pull-up + fusion + reuse": PlannerConfig(enable_lazy=True, enable_fusion=True, enable_reuse=True, use_registered_filters=False, consider_specialized=False, profile_plans=False),
+    }
+    result = AblationResult(title="Ablation — DAG optimizations (predicate pull-up, operator fusion)")
+    reference_frames: Optional[set] = None
+    for label, cfg in configs.items():
+        total_ms, frames = _run(video, _RedSuvQuery, cfg)
+        f1 = None
+        if reference_frames is None:
+            reference_frames = set(frames)
+        else:
+            f1 = f1_score_sets(set(frames), reference_frames)
+        result.rows.append(AblationRow(label, total_ms, len(frames), f1_vs_reference=f1))
+    return result
+
+
+def run_extension_ablation(duration_s: float = 60.0, camera: str = "jackson", seed: int = 0) -> AblationResult:
+    """§4.4: registered binary classifiers and specialized NNs on the RedCar VObj."""
+    video = camera_clip(camera, duration_s, seed=seed)
+    result = AblationResult(title="Ablation — registered optimizations (specialized NN, binary classifier)")
+
+    plain_cfg = PlannerConfig(enable_reuse=True, use_registered_filters=False, consider_specialized=False, profile_plans=False)
+    filters_cfg = PlannerConfig(enable_reuse=True, use_registered_filters=True, consider_specialized=False, profile_plans=False)
+    specialized_cfg = PlannerConfig(enable_reuse=True, use_registered_filters=True, consider_specialized=True, profile_plans=True)
+
+    reference_frames: Optional[set] = None
+    for label, cfg in (
+        ("general detector, no filters", plain_cfg),
+        ("+ binary classifier frame filter", filters_cfg),
+        ("+ specialized NN (planner-profiled)", specialized_cfg),
+    ):
+        session = QuerySession(video, zoo=get_library_zoo(), config=cfg)
+        query_result = session.execute(_RedCarVObjQuery())
+        f1 = None
+        frames = set(query_result.matched_frames)
+        if reference_frames is None:
+            reference_frames = frames
+        else:
+            f1 = f1_score_sets(frames, reference_frames)
+        result.rows.append(AblationRow(label, query_result.total_ms, len(frames), f1_vs_reference=f1))
+    return result
+
+
+def run_multiquery_ablation(duration_s: float = 60.0, seed: int = 0) -> AblationResult:
+    """§4.2 query-level reuse: Q1–Q5 individually vs in one shared pass."""
+    from repro.experiments.mllm_comparison import _VQPY_QUERIES, _vqpy_config
+
+    video = auburn_clip(duration_s=duration_s, seed=seed)
+    zoo = get_library_zoo()
+    result = AblationResult(title="Ablation — query-level computation reuse (Q1-Q5 together)")
+
+    individual_ms = 0.0
+    for factory in _VQPY_QUERIES.values():
+        session = QuerySession(video, zoo=zoo, config=_vqpy_config())
+        individual_ms += session.execute(factory()).total_ms
+    result.rows.append(AblationRow("executed individually", individual_ms, 0))
+
+    session = QuerySession(video, zoo=zoo, config=_vqpy_config())
+    shared = session.execute_many([factory() for factory in _VQPY_QUERIES.values()])
+    shared_ms = sum(r.total_ms for r in shared)
+    result.rows.append(AblationRow("executed in one pass (shared)", shared_ms, 0))
+    return result

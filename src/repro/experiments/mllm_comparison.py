@@ -1,0 +1,473 @@
+"""§5.3 — comparison with multimodal LLMs (Tables 4–7).
+
+Six queries (Table 4) run over the Auburn-like crossroad clip (Q1–Q5) and a
+V-COCO-like image set (Q6), under VideoChat-7B, VideoChat-13B (low-resource
+mode), VQPy, and VQPy-Opt (Q1–Q5 executed in one pass with computation
+reuse; Q6 with a cheap presence filter in front of the interaction model).
+
+Ground truth is computed directly from the synthetic videos' scripted
+objects, exactly as the paper labels its clips manually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.planner import PlannerConfig
+from repro.backend.session import QuerySession
+from repro.baselines.mllm_baseline import MLLMAnswerSet, MLLMBaseline, split_into_clips
+from repro.frontend.builtin import Ball, Car, Person, PersonBallInteraction
+from repro.frontend.properties import vobj_filter
+from repro.frontend.query import Query, average_per_frame
+from repro.frontend.registry import get_library_zoo
+from repro.metrics.accuracy import precision_recall_f1
+from repro.metrics.runtime import RuntimeReport
+from repro.models.mllm import VIDEOCHAT_13B, VIDEOCHAT_7B, VideoChatSim
+from repro.videosim.datasets import auburn_clip, vcoco_images
+from repro.videosim.video import SyntheticVideo
+
+#: Table 4 — the query set and its natural-language statements.
+MLLM_QUERIES: Tuple[Tuple[str, str, str], ...] = (
+    ("Q1", "boolean", "Are there any people passing the crosswalk?"),
+    ("Q2", "boolean", "Are there any cars turning left at the crossing?"),
+    ("Q3", "boolean", "Are there any red cars in the video?"),
+    ("Q4", "aggregation", "Tell me the average number of cars on the crossing."),
+    ("Q5", "aggregation", "Tell me the average number of people that are walking."),
+    ("Q6", "boolean", "Is anyone hitting the ball in the image? Answer by yes or no."),
+)
+
+#: Central "crossing" region of the Auburn frame, as fractions of width/height.
+CROSSING_REGION = (0.25, 0.35, 0.75, 0.85)
+
+
+# ---------------------------------------------------------------------------
+# Ground truth from the synthetic video
+# ---------------------------------------------------------------------------
+
+
+def _in_crossing(inst, width: float, height: float) -> bool:
+    x, y = inst.bbox.center
+    x0, y0, x1, y1 = CROSSING_REGION
+    return x0 * width <= x <= x1 * width and y0 * height <= y <= y1 * height
+
+
+def truth_people_crossing(clip: SyntheticVideo) -> bool:
+    for frame in clip.frames():
+        for inst in frame.instances_of("person"):
+            if inst.action == "crossing" and _in_crossing(inst, frame.width, frame.height):
+                return True
+    return False
+
+
+def truth_cars_turning_left(clip: SyntheticVideo) -> bool:
+    for frame in clip.frames():
+        for inst in frame.instances_of("car"):
+            if inst.attribute("direction") == "turn_left" and _in_crossing(inst, frame.width, frame.height):
+                return True
+    return False
+
+
+def truth_red_cars(clip: SyntheticVideo) -> bool:
+    for frame in clip.frames():
+        for inst in frame.instances_of("car"):
+            if inst.attribute("color") == "red":
+                return True
+    return False
+
+
+def truth_avg_cars_on_crossing(clip: SyntheticVideo) -> float:
+    total = frames = 0
+    for frame in clip.frames():
+        frames += 1
+        total += sum(1 for inst in frame.instances_of("car") if _in_crossing(inst, frame.width, frame.height))
+    return total / frames if frames else 0.0
+
+
+def truth_avg_people_walking(clip: SyntheticVideo) -> float:
+    total = frames = 0
+    for frame in clip.frames():
+        frames += 1
+        total += sum(
+            1
+            for inst in frame.instances_of("person")
+            if inst.action in ("walking", "crossing")
+        )
+    return total / frames if frames else 0.0
+
+
+def truth_person_hits_ball(image: SyntheticVideo) -> bool:
+    frame = image.frame(0)
+    return any(inst.interacts("hit") for inst in frame.instances_of("person"))
+
+
+# ---------------------------------------------------------------------------
+# VQPy queries for Q1–Q6
+# ---------------------------------------------------------------------------
+
+
+class PeopleCrossingQuery(Query):
+    """Q1: people passing the crosswalk."""
+
+    def __init__(self) -> None:
+        self.person = Person("person")
+
+    def frame_constraint(self):
+        return (self.person.score > 0.5) & (self.person.action == "crossing")
+
+    def frame_output(self):
+        return (self.person.track_id, self.person.bbox)
+
+
+class CarsTurningLeftQuery(Query):
+    """Q2: cars turning left at the crossing."""
+
+    def __init__(self) -> None:
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.5) & (self.car.direction == "turn_left")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class RedCarsQuery(Query):
+    """Q3: red cars in the video."""
+
+    def __init__(self) -> None:
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.5) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class AverageCarsQuery(Query):
+    """Q4: average number of cars on the crossing."""
+
+    def __init__(self) -> None:
+        self.car = Car("car")
+
+    def video_constraint(self):
+        return self.car.score > 0.5
+
+    def video_output(self):
+        return (average_per_frame(self.car.track_id, label="avg_cars"),)
+
+
+class AverageWalkingPeopleQuery(Query):
+    """Q5: average number of people that are walking."""
+
+    def __init__(self) -> None:
+        self.person = Person("person")
+
+    def video_constraint(self):
+        return (self.person.score > 0.5) & (
+            (self.person.action == "walking") | (self.person.action == "crossing")
+        )
+
+    def video_output(self):
+        return (average_per_frame(self.person.track_id, label="avg_walking"),)
+
+
+class FilteredBall(Ball):
+    """Ball VObj with a cheap presence classifier registered (VQPy-Opt for Q6)."""
+
+    @vobj_filter(model="ball_presence")
+    def ball_presence(self, frame):
+        ...
+
+
+class PersonHitsBallQuery(Query):
+    """Q6: is anyone hitting the ball (human-object interaction via "UPT")."""
+
+    def __init__(self, optimized: bool = False) -> None:
+        self.person = Person("person")
+        self.ball = FilteredBall("ball") if optimized else Ball("ball")
+        self.interaction = PersonBallInteraction(self.person, self.ball)
+
+    def frame_constraint(self):
+        return (self.person.score > 0.5) & (self.ball.score > 0.3) & (self.interaction.interaction == "hit")
+
+    def frame_output(self):
+        return (self.person.bbox, self.ball.bbox)
+
+
+# ---------------------------------------------------------------------------
+# Experiment harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MLLMQueryOutcome:
+    """Latency and accuracy of one system on one query."""
+
+    system: str
+    query_id: str
+    ms_per_frame: float
+    precompute_ms_per_frame: float = 0.0
+    f1: Optional[float] = None
+    avg_response: Optional[float] = None
+    max_response: Optional[float] = None
+    answered_fraction: Optional[float] = None
+    positive_rate: Optional[float] = None
+
+
+@dataclass
+class MLLMComparisonResult:
+    outcomes: List[MLLMQueryOutcome] = field(default_factory=list)
+
+    def get(self, system: str, query_id: str) -> Optional[MLLMQueryOutcome]:
+        for o in self.outcomes:
+            if o.system == system and o.query_id == query_id:
+                return o
+        return None
+
+    def systems(self) -> List[str]:
+        out: List[str] = []
+        for o in self.outcomes:
+            if o.system not in out:
+                out.append(o.system)
+        return out
+
+
+_BOOLEAN_TRUTHS: Dict[str, Callable[[SyntheticVideo], bool]] = {
+    "Q1": truth_people_crossing,
+    "Q2": truth_cars_turning_left,
+    "Q3": truth_red_cars,
+}
+_AGGREGATION_TRUTHS: Dict[str, Callable[[SyntheticVideo], float]] = {
+    "Q4": truth_avg_cars_on_crossing,
+    "Q5": truth_avg_people_walking,
+}
+_VQPY_QUERIES: Dict[str, Callable[[], Query]] = {
+    "Q1": PeopleCrossingQuery,
+    "Q2": CarsTurningLeftQuery,
+    "Q3": RedCarsQuery,
+    "Q4": AverageCarsQuery,
+    "Q5": AverageWalkingPeopleQuery,
+}
+
+
+def _vqpy_config(with_filters: bool = False) -> PlannerConfig:
+    return PlannerConfig(
+        enable_reuse=True,
+        use_registered_filters=with_filters,
+        consider_specialized=False,
+        profile_plans=False,
+    )
+
+
+def _mllm_boolean_f1(answers: MLLMAnswerSet) -> Tuple[float, float, float]:
+    """(f1, answered fraction, positive rate) of a per-clip answer set."""
+    stats = precision_recall_f1(answers.answers, answers.truths)
+    answered = sum(1 for a in answers.answers if a is not None) / max(len(answers.answers), 1)
+    positive = sum(1 for t in answers.truths if t) / max(len(answers.truths), 1)
+    return stats.f1, answered, positive
+
+
+def _vqpy_boolean_f1(result_frames: Sequence[int], video: SyntheticVideo, truth_fn, clip_seconds: float = 1.0) -> Tuple[float, float]:
+    """Score VQPy per one-second clip against the same ground truth as the MLLM."""
+    matched = set(result_frames)
+    predictions: List[bool] = []
+    truths: List[bool] = []
+    frames_per_clip = max(int(round(clip_seconds * video.fps)), 1)
+    for clip in split_into_clips(video, clip_seconds):
+        start = clip.offset
+        clip_range = range(start, start + clip.num_frames)
+        predictions.append(any(f in matched for f in clip_range))
+        truths.append(truth_fn(clip))
+    stats = precision_recall_f1(predictions, truths)
+    positive = sum(truths) / max(len(truths), 1)
+    return stats.f1, positive
+
+
+def run_mllm_comparison(
+    duration_s: float = 600.0,
+    num_images: int = 400,
+    seed: int = 0,
+    variants: Sequence[str] = ("videochat-7b", "videochat-13b"),
+    include_images: bool = True,
+) -> MLLMComparisonResult:
+    """Run the Tables 5–7 comparison (durations/image counts are scalable)."""
+    zoo = get_library_zoo()
+    video = auburn_clip(duration_s=duration_s, seed=seed)
+    images = vcoco_images(num_images=num_images, seed=seed) if include_images else []
+    result = MLLMComparisonResult()
+
+    # ---------------------------------------------------------------- MLLMs --
+    for variant_name in variants:
+        profile = VIDEOCHAT_7B if variant_name.endswith("7b") else VIDEOCHAT_13B
+        low_resource = variant_name.endswith("13b")
+        sim = VideoChatSim(profile, gpu_memory_gb=40.0, low_resource=low_resource, seed=seed)
+        baseline = MLLMBaseline(sim)
+        for query_id, truth_fn in _BOOLEAN_TRUTHS.items():
+            answers = baseline.boolean_over_video(video, query_id, truth_fn)
+            f1, answered, positive = _mllm_boolean_f1(answers)
+            result.outcomes.append(
+                MLLMQueryOutcome(
+                    system=variant_name,
+                    query_id=query_id,
+                    ms_per_frame=answers.ms_per_frame,
+                    precompute_ms_per_frame=answers.precompute_ms_per_frame,
+                    f1=f1,
+                    answered_fraction=answered,
+                    positive_rate=positive,
+                )
+            )
+        for query_id, truth_fn in _AGGREGATION_TRUTHS.items():
+            answers = baseline.count_over_video(video, query_id, truth_fn)
+            valid = [a for a in answers.answers if a is not None]
+            result.outcomes.append(
+                MLLMQueryOutcome(
+                    system=variant_name,
+                    query_id=query_id,
+                    ms_per_frame=answers.ms_per_frame,
+                    precompute_ms_per_frame=answers.precompute_ms_per_frame,
+                    avg_response=sum(valid) / len(valid) if valid else None,
+                    max_response=max(valid) if valid else None,
+                    answered_fraction=len(valid) / max(len(answers.answers), 1),
+                )
+            )
+        if include_images:
+            answers = baseline.boolean_over_images(images, "Q6", truth_person_hits_ball)
+            f1, answered, positive = _mllm_boolean_f1(answers)
+            result.outcomes.append(
+                MLLMQueryOutcome(
+                    system=variant_name,
+                    query_id="Q6",
+                    ms_per_frame=answers.ms_per_frame,
+                    f1=f1,
+                    answered_fraction=answered,
+                    positive_rate=positive,
+                )
+            )
+
+    # ----------------------------------------------------------------- VQPy --
+    for query_id, factory in _VQPY_QUERIES.items():
+        session = QuerySession(video, zoo=zoo, config=_vqpy_config())
+        query_result = session.execute(factory())
+        outcome = MLLMQueryOutcome(system="vqpy", query_id=query_id, ms_per_frame=query_result.ms_per_frame)
+        if query_id in _BOOLEAN_TRUTHS:
+            outcome.f1, outcome.positive_rate = _vqpy_boolean_f1(
+                query_result.matched_frames, video, _BOOLEAN_TRUTHS[query_id]
+            )
+        else:
+            label = "avg_cars" if query_id == "Q4" else "avg_walking"
+            outcome.avg_response = query_result.aggregates.get(label)
+            per_frame_counts = [len(records) for records in query_result.matches.values()]
+            outcome.max_response = max(per_frame_counts, default=0)
+        result.outcomes.append(outcome)
+
+    if include_images:
+        ms_total = 0.0
+        predictions: List[bool] = []
+        truths: List[bool] = []
+        for image in images:
+            session = QuerySession(image, zoo=zoo, config=_vqpy_config())
+            image_result = session.execute(PersonHitsBallQuery())
+            ms_total += image_result.total_ms
+            predictions.append(bool(image_result.matched_frames))
+            truths.append(truth_person_hits_ball(image))
+        stats = precision_recall_f1(predictions, truths)
+        result.outcomes.append(
+            MLLMQueryOutcome(
+                system="vqpy",
+                query_id="Q6",
+                ms_per_frame=ms_total / max(len(images), 1),
+                f1=stats.f1,
+                positive_rate=sum(truths) / max(len(truths), 1),
+            )
+        )
+
+    # -------------------------------------------------------------- VQPy-Opt --
+    # Q1–Q5 executed in a single pass with shared computation (§5.3).
+    session = QuerySession(video, zoo=zoo, config=_vqpy_config())
+    shared_queries = [factory() for factory in _VQPY_QUERIES.values()]
+    shared_results = session.execute_many(shared_queries)
+    combined_ms_per_frame = sum(r.total_ms for r in shared_results) / max(video.num_frames, 1)
+    result.outcomes.append(
+        MLLMQueryOutcome(system="vqpy-opt", query_id="Q1-Q5", ms_per_frame=combined_ms_per_frame)
+    )
+    if include_images:
+        # Q6 with a cheap ball-presence filter ahead of the interaction model.
+        ms_total = 0.0
+        predictions = []
+        truths = []
+        for image in images:
+            session = QuerySession(image, zoo=zoo, config=_vqpy_config(with_filters=True))
+            image_result = session.execute(PersonHitsBallQuery(optimized=True))
+            ms_total += image_result.total_ms
+            predictions.append(bool(image_result.matched_frames))
+            truths.append(truth_person_hits_ball(image))
+        stats = precision_recall_f1(predictions, truths)
+        result.outcomes.append(
+            MLLMQueryOutcome(
+                system="vqpy-opt",
+                query_id="Q6",
+                ms_per_frame=ms_total / max(len(images), 1),
+                f1=stats.f1,
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table renderers
+# ---------------------------------------------------------------------------
+
+
+def format_table5(result: MLLMComparisonResult) -> RuntimeReport:
+    """Table 5 — execution time (ms per frame) per system and query."""
+    report = RuntimeReport("Table 5 — execution time", unit="virtual ms per frame")
+    pre_row = {"query": "Pre"}
+    for system in result.systems():
+        if system.startswith("videochat"):
+            outcome = result.get(system, "Q1")
+            if outcome is not None:
+                pre_row[system] = outcome.precompute_ms_per_frame
+    report.add_row(**pre_row)
+    for query_id in ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q1-Q5"):
+        row = {"query": query_id}
+        for system in result.systems():
+            outcome = result.get(system, query_id)
+            if outcome is not None:
+                row[system] = outcome.ms_per_frame
+        if len(row) > 1:
+            report.add_row(**row)
+    return report
+
+
+def format_table6(result: MLLMComparisonResult) -> RuntimeReport:
+    """Table 6 — F1 score for the boolean queries."""
+    report = RuntimeReport("Table 6 — F1 score for boolean queries", unit="F1")
+    for query_id in ("Q1", "Q2", "Q3", "Q6"):
+        row = {"query": query_id}
+        vqpy = result.get("vqpy", query_id)
+        if vqpy is not None and vqpy.positive_rate is not None:
+            row["positive_rate"] = f"{vqpy.positive_rate:.1%}"
+        for system in result.systems():
+            outcome = result.get(system, query_id)
+            if outcome is not None and outcome.f1 is not None:
+                row[system] = outcome.f1
+        report.add_row(**row)
+    return report
+
+
+def format_table7(result: MLLMComparisonResult) -> RuntimeReport:
+    """Table 7 — aggregation query responses (average and maximum)."""
+    report = RuntimeReport("Table 7 — aggregation query responses", unit="answer value")
+    for system in result.systems():
+        row = {"system": system}
+        for query_id in ("Q4", "Q5"):
+            outcome = result.get(system, query_id)
+            if outcome is None or outcome.avg_response is None:
+                continue
+            row[f"{query_id}_avg"] = outcome.avg_response
+            row[f"{query_id}_max"] = outcome.max_response
+        if len(row) > 1:
+            report.add_row(**row)
+    return report

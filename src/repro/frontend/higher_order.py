@@ -1,0 +1,225 @@
+"""Higher-order queries: event composition (paper §3).
+
+Three higher-order query types extend basic queries along the spatial and
+temporal dimensions:
+
+* :class:`SpatialQuery` — two basic queries whose target objects must also
+  satisfy a spatial relationship on the same frame (rule 1: only basic
+  queries may be composed spatially).
+* :class:`DurationQuery` — a basic query (or SpatialQuery) whose condition
+  must hold continuously for a minimum duration (rule 2).
+* :class:`TemporalQuery` — two events that must occur in order within a
+  time window; accepts basic queries and any higher-order query including
+  other TemporalQueries (rule 3).
+
+The library sub-queries the paper uses in its hit-and-run example
+(:class:`CollisionQuery`, :class:`SpeedQuery`, :class:`SequentialQuery`) are
+provided here as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.expr import Predicate, TRUE, compute, conjunction
+from repro.frontend.query import Query
+from repro.frontend.vobj import VObj
+
+
+def _primary_vobj(query: Query) -> VObj:
+    """The query's main object variable (its first declared VObj)."""
+    variables = query.vobj_variables()
+    if not variables:
+        raise QueryDefinitionError(f"{query.query_name}: has no VObj variables")
+    return variables[0]
+
+
+class _SingleVObjQuery(Query):
+    """Wraps a bare VObj variable as a trivial query (convenience).
+
+    The paper's ``CollisionQuery(Car, Person)`` passes VObjs directly; this
+    wrapper lets higher-order queries accept either form.
+    """
+
+    def __init__(self, vobj: VObj, min_score: float = 0.5) -> None:
+        self.target = vobj
+        self._min_score = min_score
+
+    def frame_constraint(self) -> Predicate:
+        return self.target.score > self._min_score
+
+    def frame_output(self):
+        return (self.target.track_id, self.target.bbox)
+
+
+def _as_query(value: Union[Query, VObj]) -> Query:
+    if isinstance(value, Query):
+        return value
+    if isinstance(value, VObj):
+        return _SingleVObjQuery(value)
+    raise QueryDefinitionError(f"expected a Query or VObj, got {type(value).__name__}")
+
+
+class SpatialQuery(Query):
+    """Two basic queries joined by a spatial relationship on the same frame.
+
+    Subclasses may override :meth:`spatial_predicate` (or simply set
+    ``max_distance``) to define the relationship.  The composed query's
+    frame constraint is automatically the conjunction of both sub-queries'
+    constraints and the spatial predicate.
+    """
+
+    #: Default spatial relationship: centre distance below this threshold.
+    max_distance: Optional[float] = 100.0
+
+    def __init__(self, left: Union[Query, VObj], right: Union[Query, VObj], max_distance: Optional[float] = None) -> None:
+        self.left = _as_query(left)
+        self.right = _as_query(right)
+        for sub in (self.left, self.right):
+            if isinstance(sub, (SpatialQuery, DurationQuery, TemporalQuery)):
+                raise QueryDefinitionError(
+                    "composition rule 1: SpatialQuery takes in only basic queries, "
+                    f"got a {type(sub).__name__}"
+                )
+        if max_distance is not None:
+            self.max_distance = max_distance
+
+    @property
+    def left_vobj(self) -> VObj:
+        return _primary_vobj(self.left)
+
+    @property
+    def right_vobj(self) -> VObj:
+        return _primary_vobj(self.right)
+
+    def spatial_predicate(self) -> Predicate:
+        """The spatial relationship between the two target objects."""
+        if self.max_distance is None:
+            return TRUE
+        distance = compute(
+            lambda a, b: a.center_distance(b),
+            self.left_vobj.bbox,
+            self.right_vobj.bbox,
+            label="distance",
+        )
+        return distance < self.max_distance
+
+    def frame_constraint(self) -> Predicate:
+        return conjunction(
+            [self.left.frame_predicate(), self.right.frame_predicate(), self.spatial_predicate()]
+        )
+
+    def frame_output(self):
+        return tuple(self.left.frame_outputs()) + tuple(self.right.frame_outputs())
+
+
+class CollisionQuery(SpatialQuery):
+    """Two objects close enough to indicate a potential collision (Figure 8)."""
+
+    max_distance = 60.0
+
+
+class DurationQuery(Query):
+    """A condition that must hold continuously for a minimum duration.
+
+    Examples from the paper: a person loitering for more than 20 minutes, a
+    bag unattended for more than 5 minutes.  The duration is evaluated per
+    tracked object: the object's track must satisfy the base condition on
+    (approximately) every frame of a window at least this long.
+    """
+
+    def __init__(
+        self,
+        base: Union[Query, VObj],
+        duration_s: Optional[float] = None,
+        duration_frames: Optional[int] = None,
+        max_gap_frames: int = 5,
+    ) -> None:
+        self.base = _as_query(base)
+        if isinstance(self.base, (DurationQuery, TemporalQuery)):
+            raise QueryDefinitionError(
+                "composition rule 2: DurationQuery takes in basic queries or SpatialQueries, "
+                f"got a {type(self.base).__name__}"
+            )
+        if duration_s is None and duration_frames is None:
+            raise QueryDefinitionError("DurationQuery needs duration_s or duration_frames")
+        self.duration_s = duration_s
+        self.duration_frames = duration_frames
+        self.max_gap_frames = max_gap_frames
+
+    def required_duration_frames(self, fps: float) -> int:
+        if self.duration_frames is not None:
+            return self.duration_frames
+        return max(int(round(self.duration_s * fps)), 1)
+
+    # The per-frame condition is the base query's; duration is enforced by the
+    # executor's composition layer over the per-frame match stream.
+    def frame_constraint(self) -> Predicate:
+        return self.base.frame_predicate()
+
+    def frame_output(self):
+        return self.base.frame_outputs()
+
+    def video_output(self):
+        return self.base.video_outputs()
+
+
+class TemporalQuery(Query):
+    """Two events that must occur in order within a time window."""
+
+    def __init__(
+        self,
+        first: Union[Query, VObj],
+        second: Union[Query, VObj],
+        max_gap_s: float = 10.0,
+        min_gap_s: float = 0.0,
+    ) -> None:
+        self.first = _as_query(first)
+        self.second = _as_query(second)
+        if max_gap_s < min_gap_s:
+            raise QueryDefinitionError("TemporalQuery: max_gap_s must be >= min_gap_s")
+        self.max_gap_s = max_gap_s
+        self.min_gap_s = min_gap_s
+
+    # TemporalQuery is video-level: its result is the set of (first, second)
+    # event pairs within the window, produced by the executor's composition
+    # layer.  The per-frame constraints of the sub-queries are what the
+    # planner compiles into the DAG.
+    def frame_constraint(self) -> Predicate:
+        return TRUE
+
+    def is_video_level(self) -> bool:
+        return True
+
+
+class SequentialQuery(TemporalQuery):
+    """Alias matching the paper's naming in the hit-and-run example."""
+
+
+class SpeedQuery(Query):
+    """A built-in query for an object moving faster than a threshold.
+
+    The target VObj type must declare a ``speed`` (or ``velocity``) property;
+    the library's Vehicle VObj does.
+    """
+
+    def __init__(self, vobj: VObj, min_speed: float, speed_property: str = "speed", min_score: float = 0.5) -> None:
+        available = type(vobj).available_properties()
+        if speed_property not in available:
+            raise QueryDefinitionError(
+                f"SpeedQuery: {type(vobj).__name__} declares no {speed_property!r} property"
+            )
+        self.target = vobj
+        self.min_speed = min_speed
+        self.speed_property = speed_property
+        self.min_score = min_score
+
+    def frame_constraint(self) -> Predicate:
+        from repro.frontend.expr import PropertyRef
+
+        speed_ref = PropertyRef(self.target, self.speed_property)
+        return (self.target.score > self.min_score) & (speed_ref > self.min_speed)
+
+    def frame_output(self):
+        return (self.target.track_id, self.target.bbox)

@@ -1,0 +1,190 @@
+"""Property annotations for VObj and Relation definitions.
+
+The paper's frontend lets users declare object properties as either
+*stateless* (computable from the current frame alone — colour, licence
+plate) or *stateful* (needing a history of another property across frames —
+direction, speed).  Stateless properties can additionally be flagged
+*intrinsic*: their value never changes for a given object, which is what
+enables object-level computation reuse in the backend (§4.2).
+
+Usage mirrors Figure 2 / Figure 25 of the paper::
+
+    class Car(VObj):
+        model = "yolox"
+        class_names = ["car"]
+
+        @stateless(model="color_detect", intrinsic=True)
+        def color(self, image):
+            ...
+
+        @stateful(inputs=("center",), history_len=5)
+        def direction(self, centers):
+            return direction_from_centers(centers)
+
+A property either names a library model (``model="color_detect"``) — the
+backend then routes the detection crop through that simulated model — or
+provides a plain Python body computed from its declared inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.common.errors import QueryDefinitionError
+
+#: Properties every VObj exposes without declaration (filled by the backend).
+BUILTIN_PROPERTIES: Tuple[str, ...] = (
+    "bbox",
+    "score",
+    "class_name",
+    "track_id",
+    "frame_id",
+    "frame_rate",
+    "image",
+    "center",
+    "bottom_center",
+)
+
+
+@dataclass
+class PropertySpec:
+    """Metadata describing one declared property."""
+
+    name: str
+    kind: str  # "stateless" | "stateful"
+    func: Optional[Callable[..., Any]] = None
+    model: Optional[str] = None
+    inputs: Tuple[str, ...] = ()
+    history_len: int = 1
+    intrinsic: bool = False
+    #: The VObj/Relation class that declared the property (set by the metaclass).
+    owner: Optional[type] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stateless", "stateful"):
+            raise QueryDefinitionError(f"property {self.name!r}: unknown kind {self.kind!r}")
+        if self.kind == "stateful" and self.intrinsic:
+            raise QueryDefinitionError(
+                f"property {self.name!r}: stateful properties cannot be intrinsic — "
+                "intrinsic values must not depend on cross-frame history"
+            )
+        if self.kind == "stateful" and self.history_len < 1:
+            raise QueryDefinitionError(f"property {self.name!r}: history_len must be >= 1")
+        if self.model is None and self.func is None:
+            raise QueryDefinitionError(f"property {self.name!r}: needs either a model or a Python body")
+
+    @property
+    def is_model_backed(self) -> bool:
+        return self.model is not None
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        # Allows bare use as a descriptor if someone assigns a PropertySpec
+        # directly to a class attribute.
+        self.owner = owner
+        if not self.name:
+            self.name = name
+
+
+class _PropertyDecorator:
+    """Shared machinery for the ``@stateless`` / ``@stateful`` decorators."""
+
+    def __init__(self, kind: str, model: Optional[str], inputs: Sequence[str], history_len: int, intrinsic: bool) -> None:
+        self.kind = kind
+        self.model = model
+        self.inputs = tuple(inputs)
+        self.history_len = history_len
+        self.intrinsic = intrinsic
+
+    def __call__(self, func: Callable[..., Any]) -> PropertySpec:
+        # When a library model is named, it computes the property and the
+        # decorated body is a declaration-only placeholder (the paper writes
+        # `pass` under such properties, Figure 25) — it is never called.
+        return PropertySpec(
+            name=func.__name__,
+            kind=self.kind,
+            func=None if self.model is not None else func,
+            model=self.model,
+            inputs=self.inputs,
+            history_len=self.history_len,
+            intrinsic=self.intrinsic,
+        )
+
+
+def stateless(
+    model: Optional[str] = None,
+    inputs: Sequence[str] = ("image",),
+    intrinsic: bool = False,
+) -> _PropertyDecorator:
+    """Declare a stateless property (depends only on the current frame).
+
+    Parameters
+    ----------
+    model:
+        Name of a library model that computes the property from the object's
+        crop (e.g. ``"color_detect"``).  When omitted, the decorated function
+        body computes the property from its ``inputs``.
+    inputs:
+        Names of same-frame properties the computation depends on.
+    intrinsic:
+        Mark the property as constant per object, enabling object-level
+        computation reuse (§4.2).
+    """
+    return _PropertyDecorator("stateless", model, inputs, history_len=1, intrinsic=intrinsic)
+
+
+def stateful(
+    inputs: Sequence[str] = ("bbox",),
+    history_len: int = 2,
+    model: Optional[str] = None,
+) -> _PropertyDecorator:
+    """Declare a stateful property computed from a history of its inputs.
+
+    The decorated function receives, for each input, a list of the last
+    ``history_len`` values (oldest first) for the same tracked object.
+    """
+    return _PropertyDecorator("stateful", model, inputs, history_len=history_len, intrinsic=False)
+
+
+@dataclass
+class FilterSpec:
+    """A registered optimization hint attached to a VObj (§4.4).
+
+    ``kind`` is one of ``"binary_classifier"`` (frame-level object-presence
+    classifier), ``"frame_filter"`` (differencing-style filter), or
+    ``"specialized_nn"`` (cheap class/attribute-specific detector).
+    """
+
+    name: str
+    kind: str
+    model: Optional[str] = None
+    func: Optional[Callable[..., Any]] = None
+    history: int = 1
+    owner: Optional[type] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("binary_classifier", "frame_filter", "specialized_nn"):
+            raise QueryDefinitionError(f"filter {self.name!r}: unknown kind {self.kind!r}")
+
+
+def vobj_filter(model: Optional[str] = None) -> Callable[[Callable[..., Any]], FilterSpec]:
+    """Register a binary classifier on a VObj (Figure 11's ``@filter``).
+
+    The named model (or the decorated function, given a frame) answers
+    whether the frame can contain a matching object at all; the planner may
+    insert it ahead of the expensive detectors.
+    """
+
+    def decorate(func: Callable[..., Any]) -> FilterSpec:
+        return FilterSpec(name=func.__name__, kind="binary_classifier", model=model, func=None if model is not None else func)
+
+    return decorate
+
+
+def frame_filter(history: int = 1, model: Optional[str] = None) -> Callable[[Callable[..., Any]], FilterSpec]:
+    """Register a differencing-based frame filter (Figure 12's ``@filter``)."""
+
+    def decorate(func: Callable[..., Any]) -> FilterSpec:
+        return FilterSpec(name=func.__name__, kind="frame_filter", model=model, func=None if model is not None else func, history=history)
+
+    return decorate

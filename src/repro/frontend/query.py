@@ -1,0 +1,238 @@
+"""The ``Query`` construct: the entry point of a video query.
+
+A query declares its video-object variables in ``__init__`` and expresses
+
+* ``frame_constraint()`` / ``frame_output()`` — per-frame filtering and the
+  objects/properties to emit for matching frames (Figures 5–6), and/or
+* ``video_constraint()`` / ``video_output()`` — whole-video constraints and
+  aggregated outputs where the same tracked object counts once (Figure 7).
+
+Sub-queries inherit constraints through ordinary method inheritance: a
+subclass can call ``super().frame_constraint()`` and AND extra predicates
+onto it (paper §3, "a sub-Query can reuse the constraints of all its
+super-Query to construct a stricter constraint"), and if it does not
+override the method it inherits the parent's constraint unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.expr import (
+    Predicate,
+    PropertyRef,
+    TRUE,
+    ValueExpr,
+    conjunction,
+)
+from repro.frontend.relation import Relation
+from repro.frontend.vobj import VObj
+
+
+# ---------------------------------------------------------------------------
+# Video-level aggregates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A video-level aggregation over a value expression.
+
+    kinds
+    -----
+    ``count_distinct``
+        Number of distinct values of the expression across all matches
+        (e.g. distinct track ids → "how many vehicles turned right").
+    ``average_per_frame``
+        Average, over frames, of the number of matching bindings per frame
+        (e.g. "the average number of cars on the crossing").
+    ``max_per_frame``
+        Maximum per-frame match count.
+    ``collect``
+        The list of matched values (one per match).
+    """
+
+    kind: str
+    expr: ValueExpr
+    label: str = ""
+
+    _KINDS = ("count_distinct", "average_per_frame", "max_per_frame", "collect")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise QueryDefinitionError(f"unknown aggregate kind {self.kind!r}; expected one of {self._KINDS}")
+
+
+def count_distinct(expr: ValueExpr, label: str = "") -> Aggregate:
+    """Count distinct values of ``expr`` over the whole video."""
+    return Aggregate("count_distinct", expr, label)
+
+
+def average_per_frame(expr: ValueExpr, label: str = "") -> Aggregate:
+    """Average number of matches per frame over the whole video."""
+    return Aggregate("average_per_frame", expr, label)
+
+
+def max_per_frame(expr: ValueExpr, label: str = "") -> Aggregate:
+    """Maximum number of matches in any single frame."""
+    return Aggregate("max_per_frame", expr, label)
+
+
+def collect(expr: ValueExpr, label: str = "") -> Aggregate:
+    """Collect the matched values of ``expr`` over the whole video."""
+    return Aggregate("collect", expr, label)
+
+
+# ---------------------------------------------------------------------------
+# Query
+# ---------------------------------------------------------------------------
+
+
+class Query:
+    """Base class for video queries."""
+
+    #: Optional human-readable name used in reports; defaults to the class name.
+    name: Optional[str] = None
+
+    # -- user-overridable hooks ------------------------------------------------
+    def frame_constraint(self) -> Predicate:
+        """Predicate a frame's objects must satisfy; default accepts everything."""
+        return TRUE
+
+    def frame_output(self) -> Tuple[ValueExpr, ...]:
+        """Value expressions emitted for each matching binding; default: none."""
+        return ()
+
+    def video_constraint(self) -> Predicate:
+        """Predicate for video-level (aggregated) results; default: none."""
+        return TRUE
+
+    def video_output(self) -> Tuple[Aggregate, ...]:
+        """Aggregates computed over the whole video; default: none."""
+        return ()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def query_name(self) -> str:
+        return self.name or type(self).__name__
+
+    def vobj_variables(self) -> List[VObj]:
+        """All VObj query variables reachable from this query (stable order)."""
+        seen: Dict[int, VObj] = {}
+        for value in self.__dict__.values():
+            if isinstance(value, VObj):
+                seen.setdefault(id(value), value)
+            elif isinstance(value, Relation):
+                for endpoint in value.endpoints:
+                    seen.setdefault(id(endpoint), endpoint)
+            elif isinstance(value, Query):
+                for var in value.vobj_variables():
+                    seen.setdefault(id(var), var)
+        return list(seen.values())
+
+    def relation_variables(self) -> List[Relation]:
+        """All Relation query variables reachable from this query."""
+        seen: Dict[int, Relation] = {}
+        for value in self.__dict__.values():
+            if isinstance(value, Relation):
+                seen.setdefault(id(value), value)
+            elif isinstance(value, Query):
+                for rel in value.relation_variables():
+                    seen.setdefault(id(rel), rel)
+        return list(seen.values())
+
+    def sub_queries(self) -> List["Query"]:
+        """Directly nested Query instances (for higher-order queries)."""
+        return [v for v in self.__dict__.values() if isinstance(v, Query)]
+
+    # -- analysis used by the planner -------------------------------------------------
+    def frame_predicate(self) -> Predicate:
+        pred = self.frame_constraint()
+        if not isinstance(pred, Predicate):
+            raise QueryDefinitionError(
+                f"{self.query_name}.frame_constraint() must return a predicate, got {type(pred).__name__}"
+            )
+        return pred
+
+    def video_predicate(self) -> Predicate:
+        pred = self.video_constraint()
+        if not isinstance(pred, Predicate):
+            raise QueryDefinitionError(
+                f"{self.query_name}.video_constraint() must return a predicate, got {type(pred).__name__}"
+            )
+        return pred
+
+    def frame_outputs(self) -> Tuple[ValueExpr, ...]:
+        outputs = self.frame_output()
+        if isinstance(outputs, ValueExpr):
+            outputs = (outputs,)
+        for out in outputs:
+            if not isinstance(out, ValueExpr):
+                raise QueryDefinitionError(
+                    f"{self.query_name}.frame_output() must return value expressions, got {type(out).__name__}"
+                )
+        return tuple(outputs)
+
+    def video_outputs(self) -> Tuple[Aggregate, ...]:
+        outputs = self.video_output()
+        if isinstance(outputs, Aggregate):
+            outputs = (outputs,)
+        for out in outputs:
+            if not isinstance(out, Aggregate):
+                raise QueryDefinitionError(
+                    f"{self.query_name}.video_output() must return Aggregate values, got {type(out).__name__}"
+                )
+        return tuple(outputs)
+
+    def is_video_level(self) -> bool:
+        """True when the query produces whole-video (aggregated) results."""
+        return bool(self.video_outputs()) or not isinstance(self.video_predicate(), type(TRUE))
+
+    def required_properties(self) -> Dict[Union[VObj, Relation], Set[str]]:
+        """Properties each variable needs, from constraints and outputs."""
+        needed: Dict[Union[VObj, Relation], Set[str]] = {}
+
+        def add(mapping: Dict[Any, Set[str]]) -> None:
+            for var, props in mapping.items():
+                needed.setdefault(var, set()).update(props)
+
+        add(self.frame_predicate().required_properties())
+        add(self.video_predicate().required_properties())
+        for out in self.frame_outputs():
+            add(out.required_properties())
+        for agg in self.video_outputs():
+            add(agg.expr.required_properties())
+        # Every variable that appears at all needs at least its builtin identity.
+        for var in self.vobj_variables():
+            needed.setdefault(var, set())
+        for rel in self.relation_variables():
+            needed.setdefault(rel, set())
+        return needed
+
+    def validate(self) -> None:
+        """Check the query is well-formed (raises :class:`QueryDefinitionError`)."""
+        if not self.vobj_variables():
+            raise QueryDefinitionError(
+                f"{self.query_name}: a query must declare at least one VObj variable in __init__"
+            )
+        has_frame = bool(self.frame_outputs()) or self.frame_predicate() is not TRUE
+        has_video = bool(self.video_outputs()) or self.video_predicate() is not TRUE
+        if not has_frame and not has_video:
+            raise QueryDefinitionError(
+                f"{self.query_name}: a query must define a frame or video constraint/output"
+            )
+        # Verify all referenced properties exist on the variables' types.
+        for var, props in self.required_properties().items():
+            available = type(var).available_properties()
+            unknown = {p for p in props if p not in available}
+            if unknown:
+                raise QueryDefinitionError(
+                    f"{self.query_name}: {type(var).__name__} variable {var.var_name!r} has no "
+                    f"properties {sorted(unknown)}"
+                )
+
+    def __repr__(self) -> str:
+        vars_ = ", ".join(v.var_name for v in self.vobj_variables())
+        return f"<{type(self).__name__} over [{vars_}]>"

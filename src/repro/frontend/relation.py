@@ -1,0 +1,116 @@
+"""The ``Relation`` construct: spatial/temporal relations between VObjs.
+
+A Relation takes VObj query variables as inputs and declares properties over
+them — either computed by plain Python from the objects' builtin properties
+(Figure 3's distance-based spatial relation) or by an interaction model from
+the library (Figure 4's ``PersonBallInteraction`` built on "UPT").
+
+Like VObjs, Relation instances behave as query variables: attribute access
+inside a constraint builds expression nodes, and relations support
+inheritance with the same semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.expr import PropertyRef
+from repro.frontend.properties import FilterSpec, PropertySpec
+from repro.frontend.vobj import VObj, VObjMeta
+
+#: Properties every Relation exposes without declaration; computed by the
+#: backend from the two endpoint objects' boxes.
+RELATION_BUILTIN_PROPERTIES: Tuple[str, ...] = (
+    "distance",
+    "edge_distance",
+    "iou",
+    "frame_id",
+    "subject_bbox",
+    "object_bbox",
+)
+
+
+class Relation(metaclass=VObjMeta):
+    """Base class for relations between two video objects.
+
+    Class attributes
+    ----------------
+    model:
+        Optional library interaction model (e.g. ``"upt"``) used by
+        model-backed relation properties.
+    subject_types / object_types:
+        Optional VObj classes constraining what may be passed as endpoints;
+        ``None`` accepts any VObj.
+    """
+
+    model: Optional[str] = None
+    subject_types: Optional[Sequence[type]] = None
+    object_types: Optional[Sequence[type]] = None
+
+    __extra_builtin_properties__ = RELATION_BUILTIN_PROPERTIES
+
+    def __init__(self, subject: VObj, object: VObj, var_name: Optional[str] = None) -> None:  # noqa: A002 - paper naming
+        if not isinstance(subject, VObj) or not isinstance(object, VObj):
+            raise QueryDefinitionError("Relation endpoints must be VObj query variables (instances)")
+        self._check_endpoint(subject, self.subject_types, "subject")
+        self._check_endpoint(object, self.object_types, "object")
+        self.subject = subject
+        self.object = object
+        self.var_name = var_name or f"{type(self).__name__.lower()}_{id(self) & 0xFFFF:x}"
+
+    @staticmethod
+    def _check_endpoint(value: VObj, allowed: Optional[Sequence[type]], role: str) -> None:
+        if allowed and not isinstance(value, tuple(allowed)):
+            names = ", ".join(t.__name__ for t in allowed)
+            raise QueryDefinitionError(f"relation {role} must be one of ({names}), got {type(value).__name__}")
+
+    # -- query-variable behaviour ------------------------------------------------
+    def __getattr__(self, name: str):
+        if name.startswith("_") or name in ("var_name", "subject", "object"):
+            raise AttributeError(name)
+        if name in type(self).available_properties():
+            return PropertyRef(self, name)
+        raise AttributeError(
+            f"{type(self).__name__} has no relation property {name!r}; "
+            f"declared: {sorted(type(self).declared_properties())}, builtins: {sorted(RELATION_BUILTIN_PROPERTIES)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.subject.var_name} -> {self.object.var_name}>"
+
+    @property
+    def endpoints(self) -> Tuple[VObj, VObj]:
+        return (self.subject, self.object)
+
+    # -- class-level introspection -------------------------------------------------
+    @classmethod
+    def declared_properties(cls) -> Dict[str, PropertySpec]:
+        return dict(cls.__vqpy_properties__)
+
+    @classmethod
+    def available_properties(cls) -> set[str]:
+        return set(cls.__vqpy_properties__) | set(RELATION_BUILTIN_PROPERTIES)
+
+    @classmethod
+    def property_spec(cls, name: str) -> Optional[PropertySpec]:
+        return cls.__vqpy_properties__.get(name)
+
+    @classmethod
+    def registered_filters(cls) -> list[FilterSpec]:
+        return list(cls.__vqpy_filters__.values())
+
+    @classmethod
+    def dependency_order(cls, names: Sequence[str]) -> list[str]:
+        return cls._dependency_order([n for n in names if n in cls.__vqpy_properties__])
+
+    @classmethod
+    def requires_tracking(cls, needed_properties: Sequence[str]) -> bool:
+        for name in cls.dependency_order(list(needed_properties)):
+            if cls.__vqpy_properties__[name].kind == "stateful":
+                return True
+        return False
+
+    @classmethod
+    def intrinsic_properties(cls) -> set[str]:
+        return {name for name, spec in cls.__vqpy_properties__.items() if spec.intrinsic}

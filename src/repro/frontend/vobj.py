@@ -1,0 +1,222 @@
+"""The ``VObj`` construct: video object types.
+
+A ``VObj`` subclass declares a *type* of video object — which detector finds
+it, which object classes it corresponds to, and what properties it has.
+Instantiating a VObj inside a query creates a *query variable*: a typed
+placeholder whose attribute accesses build
+:class:`~repro.frontend.expr.PropertyRef` nodes for the constraint AST.
+
+Inheritance works like ordinary Python inheritance (paper §3 "Inheritance"):
+a sub-VObj sees every property, filter, and specialized model of its
+super-VObjs and may add or override them.  The planner also exploits the
+inheritance chain when generating alternative plans (§4.4): a ``RedCar``
+VObj can be served either by its own specialized detector or by its parent
+``Car``'s general detector plus a colour filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.expr import PropertyRef
+from repro.frontend.properties import BUILTIN_PROPERTIES, FilterSpec, PropertySpec
+
+#: Properties available on the special Scene VObj (resolved from the frame's
+#: scene attributes rather than from a detection).
+SCENE_BUILTIN_PROPERTIES: Tuple[str, ...] = ("time_of_day", "weather", "location", "num_objects")
+
+
+class VObjMeta(type):
+    """Collects property and filter declarations from the class body.
+
+    Declared :class:`PropertySpec` / :class:`FilterSpec` attributes are moved
+    out of the class namespace into ``__vqpy_properties__`` and
+    ``__vqpy_filters__`` so that *instance* attribute access falls through to
+    ``__getattr__`` and produces expression nodes.
+    """
+
+    def __new__(mcls, name: str, bases: Tuple[type, ...], namespace: Dict[str, Any]) -> "VObjMeta":
+        own_properties: Dict[str, PropertySpec] = {}
+        own_filters: Dict[str, FilterSpec] = {}
+        for attr, value in list(namespace.items()):
+            if isinstance(value, PropertySpec):
+                value.name = value.name or attr
+                own_properties[attr] = value
+                del namespace[attr]
+            elif isinstance(value, FilterSpec):
+                value.name = value.name or attr
+                own_filters[attr] = value
+                del namespace[attr]
+
+        cls = super().__new__(mcls, name, bases, namespace)
+
+        # Merge with inherited declarations (later bases win, subclass wins).
+        merged_props: Dict[str, PropertySpec] = {}
+        merged_filters: Dict[str, FilterSpec] = {}
+        for base in reversed(cls.__mro__[1:]):
+            merged_props.update(getattr(base, "__vqpy_properties__", {}))
+            merged_filters.update(getattr(base, "__vqpy_filters__", {}))
+        for spec in own_properties.values():
+            spec.owner = cls
+        for spec in own_filters.values():
+            spec.owner = cls
+        merged_props.update(own_properties)
+        merged_filters.update(own_filters)
+        cls.__vqpy_properties__ = merged_props
+        cls.__vqpy_filters__ = merged_filters
+
+        cls._validate_declarations()
+        return cls
+
+    def _validate_declarations(cls) -> None:
+        props: Dict[str, PropertySpec] = cls.__vqpy_properties__
+        known = (
+            set(props)
+            | set(BUILTIN_PROPERTIES)
+            | set(SCENE_BUILTIN_PROPERTIES)
+            | set(getattr(cls, "__extra_builtin_properties__", ()))
+        )
+        for spec in props.values():
+            for dep in spec.inputs:
+                if dep not in known:
+                    raise QueryDefinitionError(
+                        f"{cls.__name__}.{spec.name}: unknown input property {dep!r} "
+                        f"(declared properties: {sorted(props)})"
+                    )
+        # Reject dependency cycles among declared properties.
+        cls._dependency_order(list(props))
+
+    def _dependency_order(cls, names: Sequence[str]) -> List[str]:
+        """Topological order of declared properties needed to compute ``names``."""
+        props: Dict[str, PropertySpec] = cls.__vqpy_properties__
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(name: str, chain: Tuple[str, ...]) -> None:
+            if name not in props:  # builtin — always available
+                return
+            if state.get(name) == 2:
+                return
+            if state.get(name) == 1:
+                raise QueryDefinitionError(
+                    f"{cls.__name__}: property dependency cycle: {' -> '.join(chain + (name,))}"
+                )
+            state[name] = 1
+            for dep in props[name].inputs:
+                visit(dep, chain + (name,))
+            state[name] = 2
+            order.append(name)
+
+        for name in names:
+            visit(name, ())
+        return order
+
+
+class VObj(metaclass=VObjMeta):
+    """Base class for video object types.
+
+    Class attributes
+    ----------------
+    model:
+        Name of the library detection model that finds objects of this type
+        (e.g. ``"yolox"``).
+    class_names:
+        Detector class labels that map onto this VObj (e.g. ``["car"]``).
+    specialized_models:
+        Optional names of registered specialized NNs the planner may use
+        instead of the general detector (§4.4).
+    """
+
+    model: str = "yolox"
+    class_names: Sequence[str] = ()
+    specialized_models: Sequence[str] = ()
+    #: Name of the library tracker used when stateful properties are needed.
+    tracker: str = "kalman_tracker"
+
+    def __init__(self, var_name: Optional[str] = None) -> None:
+        # NOTE: assign via object.__setattr__-compatible plain attribute so
+        # __getattr__ (which builds PropertyRefs) is not consulted.
+        self.var_name = var_name or f"{type(self).__name__.lower()}_{id(self) & 0xFFFF:x}"
+
+    # -- query-variable behaviour -------------------------------------------------
+    def __getattr__(self, name: str) -> PropertyRef:
+        if name.startswith("_") or name in ("var_name",):
+            raise AttributeError(name)
+        if name in type(self).available_properties():
+            return PropertyRef(self, name)
+        raise AttributeError(
+            f"{type(self).__name__} has no property {name!r}; "
+            f"declared: {sorted(type(self).declared_properties())}, builtins: {sorted(BUILTIN_PROPERTIES)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} var {self.var_name!r}>"
+
+    # -- class-level introspection (used by the planner) -----------------------------
+    @classmethod
+    def declared_properties(cls) -> Dict[str, PropertySpec]:
+        """All declared properties, including inherited ones."""
+        return dict(cls.__vqpy_properties__)
+
+    @classmethod
+    def available_properties(cls) -> Set[str]:
+        """Declared plus builtin property names."""
+        extra = set(SCENE_BUILTIN_PROPERTIES) if issubclass(cls, Scene) else set()
+        return set(cls.__vqpy_properties__) | set(BUILTIN_PROPERTIES) | extra
+
+    @classmethod
+    def property_spec(cls, name: str) -> Optional[PropertySpec]:
+        return cls.__vqpy_properties__.get(name)
+
+    @classmethod
+    def registered_filters(cls) -> List[FilterSpec]:
+        """Binary classifiers and frame filters registered on this VObj."""
+        return list(cls.__vqpy_filters__.values())
+
+    @classmethod
+    def dependency_order(cls, names: Sequence[str]) -> List[str]:
+        """Declared properties (topologically ordered) needed to compute ``names``."""
+        return cls._dependency_order([n for n in names if n in cls.__vqpy_properties__])
+
+    @classmethod
+    def detector_model(cls) -> str:
+        return cls.model
+
+    @classmethod
+    def requires_tracking(cls, needed_properties: Sequence[str]) -> bool:
+        """True when any needed property (or its dependencies) is stateful."""
+        for name in cls.dependency_order(list(needed_properties)):
+            spec = cls.__vqpy_properties__[name]
+            if spec.kind == "stateful":
+                return True
+        return False
+
+    @classmethod
+    def super_vobjs(cls) -> List[Type["VObj"]]:
+        """The VObj ancestry (nearest first), excluding ``VObj`` itself."""
+        out: List[Type[VObj]] = []
+        for base in cls.__mro__[1:]:
+            if base is VObj or base is Scene:
+                break
+            if isinstance(base, VObjMeta):
+                out.append(base)
+        return out
+
+    @classmethod
+    def intrinsic_properties(cls) -> Set[str]:
+        """Names of properties flagged ``intrinsic=True``."""
+        return {name for name, spec in cls.__vqpy_properties__.items() if spec.intrinsic}
+
+
+class Scene(VObj):
+    """The special per-frame Scene VObj (paper §3).
+
+    It has no detector — exactly one Scene "object" exists per frame, and its
+    properties (``time_of_day``, ``weather``, ...) resolve from the frame's
+    scene attributes.  Frame filters such as the differencing filter of
+    Figure 12 are registered on Scene subclasses.
+    """
+
+    model = "__scene__"
+    class_names = ("__scene__",)

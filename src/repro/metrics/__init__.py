@@ -1,0 +1,18 @@
+"""Accuracy and runtime metrics used by the planner and the experiments."""
+
+from repro.metrics.accuracy import (
+    PrecisionRecall,
+    f1_score,
+    f1_score_sets,
+    precision_recall_f1,
+)
+from repro.metrics.runtime import RuntimeReport, speedup
+
+__all__ = [
+    "PrecisionRecall",
+    "f1_score",
+    "f1_score_sets",
+    "precision_recall_f1",
+    "RuntimeReport",
+    "speedup",
+]

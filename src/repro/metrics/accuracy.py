@@ -1,0 +1,78 @@
+"""Accuracy metrics: precision, recall, F1.
+
+The paper uses frame-level F1 both inside the planner (candidate DAGs scored
+against the most-general plan's labels, §4.3) and in the evaluation
+(Table 6).  These helpers work on boolean label sequences or on sets of
+matched frame ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision / recall / F1 triple with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def precision_recall_f1(predicted: Sequence[bool], actual: Sequence[bool]) -> PrecisionRecall:
+    """Counts from aligned boolean predictions and ground-truth labels.
+
+    ``None`` predictions (unparseable answers, as in the MLLM comparison) are
+    dropped together with their labels, matching the paper's methodology.
+    """
+    if len(predicted) != len(actual):
+        raise ValueError(f"length mismatch: {len(predicted)} predictions vs {len(actual)} labels")
+    tp = fp = fn = 0
+    for pred, truth in zip(predicted, actual):
+        if pred is None:
+            continue
+        if pred and truth:
+            tp += 1
+        elif pred and not truth:
+            fp += 1
+        elif not pred and truth:
+            fn += 1
+    return PrecisionRecall(tp, fp, fn)
+
+
+def f1_score(predicted: Sequence[bool], actual: Sequence[bool]) -> float:
+    """F1 of aligned boolean predictions against ground truth."""
+    return precision_recall_f1(predicted, actual).f1
+
+
+def f1_score_sets(predicted: Set[int], actual: Set[int], universe: Optional[int] = None) -> float:
+    """F1 between two sets of matched frame ids.
+
+    When both sets are empty the score is defined as 1.0 (the systems agree
+    perfectly that nothing matches); ``universe`` is accepted for symmetry
+    with accuracy computations but does not change F1.
+    """
+    del universe  # F1 does not depend on true negatives.
+    tp = len(predicted & actual)
+    fp = len(predicted - actual)
+    fn = len(actual - predicted)
+    if tp == fp == fn == 0:
+        return 1.0
+    return PrecisionRecall(tp, fp, fn).f1

@@ -1,0 +1,57 @@
+"""Runtime reporting helpers used by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def speedup(baseline_ms: float, system_ms: float) -> float:
+    """Baseline-over-system speedup factor (paper convention: higher is better)."""
+    if system_ms <= 0:
+        return float("inf")
+    return baseline_ms / system_ms
+
+
+@dataclass
+class RuntimeReport:
+    """Collects per-system runtimes for one experiment and renders a table."""
+
+    title: str
+    unit: str = "virtual ms"
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table (what the benches print)."""
+        cols = self.columns()
+        if not cols:
+            return f"{self.title}\n(no data)"
+        header = [self.title, f"(values in {self.unit})"]
+        table_rows = [cols] + [[_fmt(row.get(c, "")) for c in cols] for row in self.rows]
+        widths = [max(len(str(r[i])) for r in table_rows) for i in range(len(cols))]
+        lines = list(header)
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table_rows[1:]:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,55 @@
+"""Simulated model zoo.
+
+The paper's pipelines are built from pretrained vision models (YOLOX /
+YOLOv5 / YOLOv8 detectors, a colour classifier, a licence-plate reader,
+re-identification features, the UPT human-object-interaction model, the
+VideoChat MLLM).  Running those models requires GPUs and weights we do not
+have, so every model here is an *oracle with noise*: it reads the synthetic
+frame's ground truth, corrupts it with a seeded error model, and charges a
+:class:`~repro.common.clock.CostProfile` worth of virtual milliseconds to the
+pipeline's :class:`~repro.common.clock.SimClock`.
+
+What the reproduction preserves is the *relative* cost and accuracy structure
+that the paper's optimizer decisions and evaluation comparisons depend on.
+"""
+
+from repro.models.base import Detection, SimulatedModel, ModelRegistry
+from repro.models.detector import GeneralObjectDetector, SpecializedDetector, BinaryClassifier
+from repro.models.tracker import KalmanTracker, IoUTracker, Track
+from repro.models.properties import (
+    ColorModel,
+    VehicleTypeModel,
+    LicensePlateModel,
+    FeatureVectorModel,
+    DirectionEstimator,
+    SpeedEstimator,
+)
+from repro.models.interaction import InteractionModel, ActionClassifier
+from repro.models.framefilters import MotionFrameFilter, TextureFrameFilter
+from repro.models.mllm import VideoChatSim
+from repro.models.zoo import default_zoo, ModelZoo
+
+__all__ = [
+    "Detection",
+    "SimulatedModel",
+    "ModelRegistry",
+    "GeneralObjectDetector",
+    "SpecializedDetector",
+    "BinaryClassifier",
+    "KalmanTracker",
+    "IoUTracker",
+    "Track",
+    "ColorModel",
+    "VehicleTypeModel",
+    "LicensePlateModel",
+    "FeatureVectorModel",
+    "DirectionEstimator",
+    "SpeedEstimator",
+    "InteractionModel",
+    "ActionClassifier",
+    "MotionFrameFilter",
+    "TextureFrameFilter",
+    "VideoChatSim",
+    "ModelZoo",
+    "default_zoo",
+]

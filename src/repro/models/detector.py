@@ -1,0 +1,213 @@
+"""Simulated object detectors, specialized NNs, and binary classifiers.
+
+Detectors observe a frame's ground truth and return noisy
+:class:`~repro.models.base.Detection` lists: true objects can be missed
+(probability depends on object size and the model's quality tier), detection
+boxes are jittered, confidence scores are drawn from quality-dependent
+distributions, and occasional false positives are injected.
+
+Three tiers mirror the families the paper registers in its library (§4.4):
+
+* :class:`GeneralObjectDetector` — expensive, accurate, detects all classes
+  (the "yolox" / "yolov8m" general detectors);
+* :class:`SpecializedDetector` — cheap, detects one class (optionally only
+  objects with a given attribute value, e.g. a red-car detector);
+* :class:`BinaryClassifier` — cheapest, answers "does the frame contain an
+  object of interest at all" and is used as an early frame filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.geometry import BBox
+from repro.common.rng import bernoulli, derive_rng
+from repro.models.base import Detection, SimulatedModel
+from repro.videosim.entities import GTInstance
+from repro.videosim.video import Frame
+
+
+def _jitter_bbox(bbox: BBox, rng, sigma: float, width: float, height: float) -> BBox:
+    """Perturb box corners with Gaussian noise, clipped to the frame."""
+    if sigma <= 0:
+        return bbox
+    dx1, dy1, dx2, dy2 = rng.normal(0.0, sigma, size=4)
+    x1 = min(bbox.x1 + dx1, bbox.x2 + dx2 - 1.0)
+    y1 = min(bbox.y1 + dy1, bbox.y2 + dy2 - 1.0)
+    return BBox(x1, y1, max(bbox.x2 + dx2, x1 + 1.0), max(bbox.y2 + dy2, y1 + 1.0)).clipped(width, height)
+
+
+class GeneralObjectDetector(SimulatedModel):
+    """A general-purpose multi-class detector (the paper's YOLOX / YOLOv8).
+
+    Parameters
+    ----------
+    classes:
+        Object classes the detector reports.  Ground-truth objects of other
+        classes are invisible to it.
+    miss_rate:
+        Per-object probability of a missed detection (drawn deterministically
+        per (model, object, frame)).
+    false_positive_rate:
+        Per-frame probability of emitting one spurious detection.
+    bbox_sigma:
+        Standard deviation (pixels) of box-corner noise.
+    """
+
+    def __init__(
+        self,
+        name: str = "yolox",
+        classes: Sequence[str] = ("car", "bus", "truck", "person", "ball", "bicycle", "bag"),
+        cost_profile: CostProfile = CostProfile(base_ms=30.0, per_item_ms=0.5),
+        miss_rate: float = 0.02,
+        false_positive_rate: float = 0.01,
+        bbox_sigma: float = 2.0,
+        score_range: tuple[float, float] = (0.75, 0.99),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.classes = tuple(classes)
+        self.miss_rate = miss_rate
+        self.false_positive_rate = false_positive_rate
+        self.bbox_sigma = bbox_sigma
+        self.score_range = score_range
+
+    # -- helpers -----------------------------------------------------------
+    def _visible(self, inst: GTInstance) -> bool:
+        return inst.class_name in self.classes
+
+    def _detect_instance(self, inst: GTInstance, frame: Frame, rng) -> Optional[Detection]:
+        # Small objects are easier to miss: scale the miss rate up for boxes
+        # under ~40px on a side.
+        size_penalty = 1.0 if min(inst.bbox.width, inst.bbox.height) >= 40 else 2.5
+        if bernoulli(rng, self.miss_rate * size_penalty):
+            return None
+        bbox = _jitter_bbox(inst.bbox, rng, self.bbox_sigma, frame.width, frame.height)
+        lo, hi = self.score_range
+        score = float(rng.uniform(lo, hi))
+        return Detection(
+            class_name=inst.class_name,
+            bbox=bbox,
+            score=score,
+            frame_id=frame.frame_id,
+            gt_object_id=inst.object_id,
+        )
+
+    def _false_positive(self, frame: Frame) -> Optional[Detection]:
+        rng = derive_rng(self.seed, self.name, "fp", frame.frame_id)
+        if not bernoulli(rng, self.false_positive_rate):
+            return None
+        cls = str(rng.choice(list(self.classes)))
+        w = float(rng.uniform(30, 120))
+        h = float(rng.uniform(30, 120))
+        cx = float(rng.uniform(w, frame.width - w))
+        cy = float(rng.uniform(h, frame.height - h))
+        return Detection(
+            class_name=cls,
+            bbox=BBox.from_center(cx, cy, w, h),
+            score=float(rng.uniform(0.5, 0.75)),
+            frame_id=frame.frame_id,
+            gt_object_id=None,
+        )
+
+    # -- public API ----------------------------------------------------------
+    def detect(self, frame: Frame, clock: Optional[SimClock] = None) -> List[Detection]:
+        """Detect all visible objects on ``frame``."""
+        candidates = [inst for inst in frame.instances if self._visible(inst)]
+        self.charge(clock, n_items=len(candidates))
+        # One random stream per (model, frame); candidate order is
+        # deterministic so results stay reproducible.
+        rng = derive_rng(self.seed, self.name, "det", frame.frame_id)
+        detections = [d for d in (self._detect_instance(inst, frame, rng) for inst in candidates) if d is not None]
+        fp = self._false_positive(frame)
+        if fp is not None:
+            detections.append(fp)
+        return detections
+
+
+class SpecializedDetector(GeneralObjectDetector):
+    """A cheap detector specialised to one class (and optionally one attribute).
+
+    This models the "specialized NNs" of §4.4 — e.g. a ``RedCarDetection``
+    network registered on the ``RedCar`` VObj.  It is roughly 4× cheaper than
+    the general detector but noisier, which is exactly the trade-off the
+    planner profiles when choosing between execution paths.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target_class: str,
+        attribute: Optional[str] = None,
+        attribute_value: Optional[object] = None,
+        cost_profile: CostProfile = CostProfile(base_ms=8.0, per_item_ms=0.3),
+        miss_rate: float = 0.08,
+        false_positive_rate: float = 0.03,
+        bbox_sigma: float = 4.0,
+        score_range: tuple[float, float] = (0.6, 0.95),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            name=name,
+            classes=(target_class,),
+            cost_profile=cost_profile,
+            miss_rate=miss_rate,
+            false_positive_rate=false_positive_rate,
+            bbox_sigma=bbox_sigma,
+            score_range=score_range,
+            seed=seed,
+        )
+        self.target_class = target_class
+        self.attribute = attribute
+        self.attribute_value = attribute_value
+
+    def _visible(self, inst: GTInstance) -> bool:
+        if inst.class_name != self.target_class:
+            return False
+        if self.attribute is None:
+            return True
+        return inst.attribute(self.attribute) == self.attribute_value
+
+
+class BinaryClassifier(SimulatedModel):
+    """Frame-level presence classifier ("is there a red car on the road?").
+
+    This models §4.4's binary classifiers used to discard frames early.
+    The answer is derived from ground truth with configurable false-negative
+    and false-positive rates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target_class: str,
+        attribute: Optional[str] = None,
+        attribute_value: Optional[object] = None,
+        cost_profile: CostProfile = CostProfile(base_ms=2.0),
+        false_negative_rate: float = 0.04,
+        false_positive_rate: float = 0.08,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.target_class = target_class
+        self.attribute = attribute
+        self.attribute_value = attribute_value
+        self.false_negative_rate = false_negative_rate
+        self.false_positive_rate = false_positive_rate
+
+    def _matches(self, inst: GTInstance) -> bool:
+        if inst.class_name != self.target_class:
+            return False
+        if self.attribute is None:
+            return True
+        return inst.attribute(self.attribute) == self.attribute_value
+
+    def predict(self, frame: Frame, clock: Optional[SimClock] = None) -> bool:
+        """True when the frame (probably) contains a target object."""
+        self.charge(clock)
+        truth = any(self._matches(inst) for inst in frame.instances)
+        rng = derive_rng(self.seed, self.name, "bin", frame.frame_id)
+        if truth:
+            return not bernoulli(rng, self.false_negative_rate)
+        return bernoulli(rng, self.false_positive_rate)

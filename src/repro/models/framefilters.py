@@ -1,0 +1,103 @@
+"""Cheap frame-level filters.
+
+The paper's backend inserts inexpensive frame filters ahead of detectors to
+discard frames that cannot contribute to the query result (§4.1, §4.4):
+
+* a differencing-based motion filter that skips frames similar to the
+  previous ones (the ``similar_to_prev`` filter of Figure 12), and
+* texture/appearance filters that cheaply rule out the presence of a class
+  ("no red on road" in Figure 11).
+
+Both are simulated from ground truth with a small, configurable error rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.rng import bernoulli, derive_rng, stable_uniform
+from repro.models.base import SimulatedModel
+from repro.videosim.video import Frame
+
+
+class MotionFrameFilter(SimulatedModel):
+    """Frame-differencing motion detector.
+
+    A frame "has motion" when any ground-truth object moved more than
+    ``min_displacement`` pixels since the previous inspected frame.  Static
+    frames (parked cars only, empty road) are filtered out, which is safe
+    for queries about moving objects.
+    """
+
+    def __init__(
+        self,
+        name: str = "motion_filter",
+        min_displacement: float = 1.0,
+        history_len: int = 1,
+        cost_profile: CostProfile = CostProfile(base_ms=0.5),
+        error_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.min_displacement = min_displacement
+        self.history_len = history_len
+        self.error_rate = error_rate
+        self._last_positions: Dict[int, tuple[float, float]] = {}
+
+    def reset(self) -> None:
+        self._last_positions = {}
+
+    def keep(self, frame: Frame, clock: Optional[SimClock] = None) -> bool:
+        """True when the frame should be kept (motion present)."""
+        self.charge(clock)
+        moved = False
+        current: Dict[int, tuple[float, float]] = {}
+        for inst in frame.instances:
+            center = inst.bbox.center
+            current[inst.object_id] = center
+            prev = self._last_positions.get(inst.object_id)
+            if prev is None:
+                moved = True
+                continue
+            dx = center[0] - prev[0]
+            dy = center[1] - prev[1]
+            if (dx * dx + dy * dy) ** 0.5 >= self.min_displacement:
+                moved = True
+        self._last_positions = current
+        rng = derive_rng(self.seed, self.name, frame.frame_id)
+        if bernoulli(rng, self.error_rate):
+            return not moved
+        return moved
+
+
+class TextureFrameFilter(SimulatedModel):
+    """Cheap texture-based presence filter for one object class.
+
+    Keeps a frame only when the class is (probably) present.  False
+    negatives lose recall (the planner accounts for this when estimating a
+    candidate DAG's F1); false positives just waste a little compute.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target_class: str,
+        cost_profile: CostProfile = CostProfile(base_ms=1.0),
+        false_negative_rate: float = 0.03,
+        false_positive_rate: float = 0.10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.target_class = target_class
+        self.false_negative_rate = false_negative_rate
+        self.false_positive_rate = false_positive_rate
+
+    def keep(self, frame: Frame, clock: Optional[SimClock] = None) -> bool:
+        """True when the frame should be kept (target class present)."""
+        self.charge(clock)
+        present = any(inst.class_name == self.target_class for inst in frame.instances)
+        u = stable_uniform(self.seed, self.name, frame.frame_id)
+        if present:
+            return u >= self.false_negative_rate
+        return u < self.false_positive_rate

@@ -1,0 +1,125 @@
+"""Simulated interaction and action models.
+
+* :class:`InteractionModel` stands in for UPT (Zhang et al., 2022), the
+  two-stage human-object-interaction detector the paper uses for the
+  "person hitting a ball" query (Q6, §5.3) and the ``PersonBallInteraction``
+  relation (Figure 4).
+* :class:`ActionClassifier` predicts per-person actions (walking, standing,
+  getting into a car, fallen, ...), used by action-based queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.rng import stable_choice, stable_uniform
+from repro.models.base import Detection, SimulatedModel
+from repro.videosim.entities import PERSON_ACTIONS
+from repro.videosim.video import Frame
+
+
+@dataclass(frozen=True)
+class InteractionPrediction:
+    """A predicted subject→object interaction on one frame."""
+
+    subject: Detection
+    object: Detection
+    kind: str
+    score: float
+
+
+class InteractionModel(SimulatedModel):
+    """UPT-like human-object-interaction model.
+
+    Given a frame's person and object detections, the model scores every
+    (person, object) pair and emits the interactions it believes are present.
+    Truth comes from the frame's scripted
+    :class:`~repro.videosim.entities.InteractionEvent` records; errors are
+    per-pair false negatives and false positives.
+    """
+
+    def __init__(
+        self,
+        name: str = "upt",
+        kinds: Sequence[str] = ("hit", "hold", "get_into", "collide"),
+        cost_profile: CostProfile = CostProfile(base_ms=45.0, per_item_ms=2.0),
+        false_negative_rate: float = 0.10,
+        false_positive_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.kinds = tuple(kinds)
+        self.false_negative_rate = false_negative_rate
+        self.false_positive_rate = false_positive_rate
+
+    def _true_interaction(self, subject: Detection, obj: Detection, frame: Frame) -> Optional[str]:
+        if subject.gt_object_id is None or obj.gt_object_id is None:
+            return None
+        inst = frame.instance_by_id(subject.gt_object_id)
+        if inst is None:
+            return None
+        for kind, other_id, is_subject in inst.interactions:
+            if is_subject and other_id == obj.gt_object_id and kind in self.kinds:
+                return kind
+        return None
+
+    def predict(
+        self,
+        subjects: Sequence[Detection],
+        objects: Sequence[Detection],
+        frame: Frame,
+        clock: Optional[SimClock] = None,
+    ) -> List[InteractionPrediction]:
+        """Predict interactions between every subject/object pair."""
+        n_pairs = len(subjects) * len(objects)
+        self.charge(clock, n_items=n_pairs)
+        out: List[InteractionPrediction] = []
+        for s in subjects:
+            for o in objects:
+                if s is o:
+                    continue
+                key = (s.gt_object_id, o.gt_object_id, frame.frame_id)
+                truth = self._true_interaction(s, o, frame)
+                if truth is not None:
+                    if stable_uniform(self.seed, self.name, "fn", *key) >= self.false_negative_rate:
+                        out.append(InteractionPrediction(s, o, truth, score=0.85))
+                else:
+                    if stable_uniform(self.seed, self.name, "fp", *key) < self.false_positive_rate:
+                        kind = stable_choice(list(self.kinds), self.seed, self.name, "fpk", *key)
+                        out.append(InteractionPrediction(s, o, kind, score=0.55))
+        return out
+
+
+class ActionClassifier(SimulatedModel):
+    """Per-person action recognition (walking / standing / crossing / ...)."""
+
+    def __init__(
+        self,
+        name: str = "action_recognition",
+        cost_profile: CostProfile = CostProfile(base_ms=8.0, per_item_ms=12.0),
+        error_rate: float = 0.08,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.error_rate = error_rate
+        self.vocabulary: Tuple[str, ...] = PERSON_ACTIONS + ("getting_into_car", "fallen", "hitting")
+
+    def predict(self, detection: Detection, frame: Frame, clock: Optional[SimClock] = None) -> str:
+        """Predict the action of one person detection."""
+        self.charge(clock)
+        truth = "standing"
+        if detection.gt_object_id is not None:
+            inst = frame.instance_by_id(detection.gt_object_id)
+            if inst is not None and inst.action:
+                truth = inst.action
+        key = (detection.gt_object_id, frame.frame_id)
+        if stable_uniform(self.seed, self.name, "err", *key) < self.error_rate:
+            wrong = [a for a in self.vocabulary if a != truth]
+            return stable_choice(wrong, self.seed, self.name, "wrong", *key)
+        return truth
+
+    def predict_batch(self, detections: Sequence[Detection], frame: Frame, clock: Optional[SimClock] = None) -> List[str]:
+        self.charge(clock, n_items=len(detections))
+        return [self.predict(d, frame, clock=None) for d in detections]

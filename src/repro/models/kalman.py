@@ -1,0 +1,84 @@
+"""A constant-velocity Kalman filter for bounding-box tracking.
+
+This is the "lightweight tracker based on the Kalman filter" that §4.2 uses
+to re-identify video objects across frames so intrinsic property values can
+be reused.  The state follows the SORT convention: centre position, box
+scale (area), aspect ratio, and the velocities of the first three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.geometry import BBox
+
+
+def bbox_to_z(bbox: BBox) -> np.ndarray:
+    """Convert a box to the measurement vector ``[cx, cy, area, aspect]``."""
+    cx, cy = bbox.center
+    s = max(bbox.area, 1e-6)
+    r = bbox.width / max(bbox.height, 1e-6)
+    return np.array([cx, cy, s, r], dtype=float)
+
+
+def z_to_bbox(z: np.ndarray) -> BBox:
+    """Convert a state's measurement part back to a box."""
+    cx, cy, s, r = float(z[0]), float(z[1]), max(float(z[2]), 1e-6), max(float(z[3]), 1e-6)
+    w = float(np.sqrt(s * r))
+    h = s / max(w, 1e-6)
+    return BBox.from_center(cx, cy, w, h)
+
+
+class KalmanBoxFilter:
+    """Constant-velocity Kalman filter over ``[cx, cy, s, r, vcx, vcy, vs]``."""
+
+    STATE_DIM = 7
+    MEAS_DIM = 4
+
+    def __init__(self, bbox: BBox) -> None:
+        dim, m = self.STATE_DIM, self.MEAS_DIM
+        self.F = np.eye(dim)
+        self.F[0, 4] = self.F[1, 5] = self.F[2, 6] = 1.0
+        self.H = np.zeros((m, dim))
+        self.H[:m, :m] = np.eye(m)
+
+        self.R = np.diag([1.0, 1.0, 10.0, 0.01])
+        self.P = np.diag([10.0, 10.0, 10.0, 10.0, 1000.0, 1000.0, 1000.0])
+        self.Q = np.diag([1.0, 1.0, 1.0, 0.01, 0.01, 0.01, 0.0001])
+
+        self.x = np.zeros(dim)
+        self.x[:m] = bbox_to_z(bbox)
+        self.age = 0
+        self.time_since_update = 0
+        self.hits = 1
+
+    def predict(self) -> BBox:
+        """Advance the state one frame and return the predicted box."""
+        # Keep the scale non-negative: if the predicted area would go
+        # negative, zero its velocity first (standard SORT guard).
+        if self.x[2] + self.x[6] <= 0:
+            self.x[6] = 0.0
+        self.x = self.F @ self.x
+        self.P = self.F @ self.P @ self.F.T + self.Q
+        self.age += 1
+        self.time_since_update += 1
+        return z_to_bbox(self.x[: self.MEAS_DIM])
+
+    def update(self, bbox: BBox) -> None:
+        """Fold a new measurement into the state."""
+        z = bbox_to_z(bbox)
+        y = z - self.H @ self.x
+        S = self.H @ self.P @ self.H.T + self.R
+        K = self.P @ self.H.T @ np.linalg.inv(S)
+        self.x = self.x + K @ y
+        self.P = (np.eye(self.STATE_DIM) - K @ self.H) @ self.P
+        self.time_since_update = 0
+        self.hits += 1
+
+    @property
+    def bbox(self) -> BBox:
+        return z_to_bbox(self.x[: self.MEAS_DIM])
+
+    @property
+    def velocity(self) -> tuple[float, float]:
+        return (float(self.x[4]), float(self.x[5]))

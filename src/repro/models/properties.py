@@ -1,0 +1,227 @@
+"""Simulated property models: colour, vehicle type, licence plate, re-id
+features, plus the handcrafted direction/speed estimators.
+
+Each property model evaluates one detection crop (the region of the frame
+inside the detection's box).  Simulated models look up the ground-truth
+object behind the detection and return its true attribute value, corrupted
+with a per-object deterministic error: a given object always gets the same
+(possibly wrong) prediction, which keeps memoisation semantically neutral —
+exactly the property the paper's intrinsic-reuse optimisation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.geometry import BBox
+from repro.common.rng import derive_rng, stable_choice, stable_hash, stable_uniform
+from repro.models.base import Detection, SimulatedModel
+from repro.videosim.entities import VEHICLE_COLORS, VEHICLE_TYPES
+from repro.videosim.video import Frame
+
+
+class PropertyModel(SimulatedModel):
+    """Base class for per-crop attribute models.
+
+    Subclasses implement :meth:`_truth` (read the ground-truth value) and
+    may override :meth:`_corrupt` to control the error model.
+    """
+
+    #: Name of the attribute this model predicts (matches GT attribute keys).
+    attribute: str = ""
+    #: Probability a given object's prediction is wrong.
+    error_rate: float = 0.05
+    #: Vocabulary to draw wrong answers from.
+    vocabulary: Sequence[str] = ()
+    #: Value returned for false-positive detections with no ground truth.
+    fallback: object = None
+
+    def __init__(self, name: str, cost_profile: CostProfile, error_rate: Optional[float] = None, seed: int = 0) -> None:
+        super().__init__(name, cost_profile, seed)
+        if error_rate is not None:
+            self.error_rate = error_rate
+
+    # -- oracle-with-noise machinery ---------------------------------------
+    def _truth(self, detection: Detection, frame: Frame) -> object:
+        if detection.gt_object_id is None:
+            return self.fallback
+        inst = frame.instance_by_id(detection.gt_object_id)
+        if inst is None:
+            return self.fallback
+        return inst.attribute(self.attribute, self.fallback)
+
+    def _corrupt(self, value: object, detection: Detection) -> object:
+        key = detection.gt_object_id if detection.gt_object_id is not None else ("fp", detection.frame_id)
+        if stable_uniform(self.seed, self.name, "err", key) >= self.error_rate:
+            return value
+        wrong = [v for v in self.vocabulary if v != value]
+        if not wrong:
+            return value
+        return stable_choice(wrong, self.seed, self.name, "wrong", key)
+
+    # -- public API ----------------------------------------------------------
+    def predict(self, detection: Detection, frame: Frame, clock: Optional[SimClock] = None) -> object:
+        """Predict the attribute value for one detection crop."""
+        self.charge(clock)
+        return self._corrupt(self._truth(detection, frame), detection)
+
+    def predict_batch(self, detections: Sequence[Detection], frame: Frame, clock: Optional[SimClock] = None) -> List[object]:
+        """Predict for a batch of crops from the same frame (one invocation)."""
+        self.charge(clock, n_items=len(detections))
+        return [self._corrupt(self._truth(d, frame), d) for d in detections]
+
+
+class ColorModel(PropertyModel):
+    """Vehicle colour classifier (the CVIP colour model of §5.1/§5.2)."""
+
+    attribute = "color"
+    error_rate = 0.05
+    vocabulary = VEHICLE_COLORS
+    fallback = "unknown"
+
+    def __init__(self, name: str = "color_detect", cost_profile: CostProfile = CostProfile(base_ms=5.0, per_item_ms=20.0), **kw) -> None:
+        super().__init__(name, cost_profile, **kw)
+
+
+class VehicleTypeModel(PropertyModel):
+    """Vehicle type classifier (sedan / suv / ...)."""
+
+    attribute = "vehicle_type"
+    error_rate = 0.07
+    vocabulary = VEHICLE_TYPES + ("bus",)
+    fallback = "unknown"
+
+    def __init__(self, name: str = "type_detect", cost_profile: CostProfile = CostProfile(base_ms=5.0, per_item_ms=22.0), **kw) -> None:
+        super().__init__(name, cost_profile, **kw)
+
+
+class LicensePlateModel(PropertyModel):
+    """Licence-plate reader; errors replace the plate with a garbled string."""
+
+    attribute = "license_plate"
+    error_rate = 0.10
+    fallback = ""
+
+    def __init__(self, name: str = "license_plate", cost_profile: CostProfile = CostProfile(base_ms=6.0, per_item_ms=25.0), **kw) -> None:
+        super().__init__(name, cost_profile, **kw)
+
+    def _corrupt(self, value: object, detection: Detection) -> object:
+        key = detection.gt_object_id if detection.gt_object_id is not None else ("fp", detection.frame_id)
+        if not value or stable_uniform(self.seed, self.name, "err", key) >= self.error_rate:
+            return value
+        # A plausible OCR failure: scramble two characters deterministically.
+        text = list(str(value))
+        idx = stable_hash(self.seed, self.name, "pos", key) % max(len(text) - 1, 1)
+        text[idx] = "?"
+        return "".join(text)
+
+
+class FeatureVectorModel(SimulatedModel):
+    """Re-identification feature extractor.
+
+    Produces a unit-norm embedding that is (a) stable per ground-truth
+    object up to small per-frame noise and (b) far from other objects'
+    embeddings — so cosine similarity against a gallery image behaves like a
+    real re-id model.  Used by the "suspect" query of Figures 9–10.
+    """
+
+    DIM = 64
+
+    def __init__(
+        self,
+        name: str = "reid_feature",
+        cost_profile: CostProfile = CostProfile(base_ms=5.0, per_item_ms=15.0),
+        noise_sigma: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.noise_sigma = noise_sigma
+
+    def _base_embedding(self, object_id: int) -> np.ndarray:
+        rng = derive_rng(self.seed, self.name, "base", object_id)
+        v = rng.normal(size=self.DIM)
+        return v / np.linalg.norm(v)
+
+    def embed_object(self, object_id: int) -> np.ndarray:
+        """The noiseless gallery embedding of a ground-truth object."""
+        return self._base_embedding(object_id)
+
+    def predict(self, detection: Detection, frame: Frame, clock: Optional[SimClock] = None) -> np.ndarray:
+        """Embedding of one detection crop (noisy per frame)."""
+        self.charge(clock)
+        if detection.gt_object_id is None:
+            rng = derive_rng(self.seed, self.name, "fp", detection.frame_id)
+            v = rng.normal(size=self.DIM)
+            return v / np.linalg.norm(v)
+        base = self._base_embedding(detection.gt_object_id)
+        rng = derive_rng(self.seed, self.name, "noise", detection.gt_object_id, detection.frame_id)
+        v = base + rng.normal(scale=self.noise_sigma, size=self.DIM)
+        return v / np.linalg.norm(v)
+
+    @staticmethod
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity between two embeddings."""
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if denom == 0:
+            return 0.0
+        return float(np.dot(a, b) / denom)
+
+
+class DirectionEstimator(SimulatedModel):
+    """Handcrafted direction estimator from a history of box centres.
+
+    This is the kind of "customized code" property the paper's Vehicle VObj
+    defines (Figure 2): it needs no neural model, just the last few centre
+    positions, and is therefore nearly free.
+    """
+
+    def __init__(self, name: str = "direction_estimator", cost_profile: CostProfile = CostProfile(base_ms=0.05), seed: int = 0) -> None:
+        super().__init__(name, cost_profile, seed)
+
+    def predict(self, centers: Sequence[tuple[float, float]], clock: Optional[SimClock] = None) -> str:
+        """Direction label from a centre history (oldest first)."""
+        self.charge(clock)
+        if len(centers) < 2:
+            return "unknown"
+        pts = np.asarray(centers, dtype=float)
+        deltas = np.diff(pts, axis=0)
+        speeds = np.hypot(deltas[:, 0], deltas[:, 1])
+        if float(np.mean(speeds)) < 0.5:
+            return "stopped"
+        headings = np.degrees(np.arctan2(deltas[:, 1], deltas[:, 0]))
+        turn = _wrap_angle(float(headings[-1] - headings[0]))
+        if abs(turn) < 15.0:
+            return "go_straight"
+        return "turn_right" if turn > 0 else "turn_left"
+
+
+class SpeedEstimator(SimulatedModel):
+    """Handcrafted speed (velocity magnitude) estimator from box history.
+
+    This is the paper's ``get_velocity`` UDF used in both the VQPy and EVA
+    versions of the speeding-car query (Figures 22–25): speed is the
+    displacement of the box centre between consecutive frames.
+    """
+
+    def __init__(self, name: str = "speed_estimator", cost_profile: CostProfile = CostProfile(base_ms=0.05), seed: int = 0) -> None:
+        super().__init__(name, cost_profile, seed)
+
+    def predict(self, bboxes: Sequence[BBox], clock: Optional[SimClock] = None) -> float:
+        """Pixels/frame speed from the last boxes (oldest first)."""
+        self.charge(clock)
+        if len(bboxes) < 2:
+            return 0.0
+        (x0, y0) = bboxes[-2].center
+        (x1, y1) = bboxes[-1].center
+        return float(np.hypot(x1 - x0, y1 - y0))
+
+
+def _wrap_angle(deg: float) -> float:
+    while deg <= -180.0:
+        deg += 360.0
+    while deg > 180.0:
+        deg -= 360.0
+    return deg

@@ -1,0 +1,218 @@
+"""Object trackers: associate detections across frames into tracks.
+
+Two trackers are provided, mirroring the ones the paper uses:
+
+* :class:`KalmanTracker` — a SORT-style tracker (Kalman prediction +
+  Hungarian assignment on IoU).  This is the "lightweight tracker based on
+  the Kalman filter" of §4.2 that enables object-level computation reuse.
+* :class:`IoUTracker` — a simpler greedy-IoU tracker standing in for the
+  "nor-fair" tracker that EVA's ``EXTRACT_OBJECT`` uses in §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.common.clock import CostProfile, SimClock
+from repro.common.geometry import BBox, iou_matrix
+from repro.models.base import Detection, SimulatedModel
+from repro.models.kalman import KalmanBoxFilter
+
+
+@dataclass
+class Track:
+    """One tracked object: a stable id plus its per-frame detections."""
+
+    track_id: int
+    class_name: str
+    detections: List[Detection] = field(default_factory=list)
+    misses: int = 0
+
+    @property
+    def last_detection(self) -> Detection:
+        return self.detections[-1]
+
+    @property
+    def last_bbox(self) -> BBox:
+        return self.detections[-1].bbox
+
+    @property
+    def length(self) -> int:
+        return len(self.detections)
+
+    def bbox_history(self, n: int) -> List[BBox]:
+        """The last ``n`` boxes, oldest first."""
+        return [d.bbox for d in self.detections[-n:]]
+
+
+class KalmanTracker(SimulatedModel):
+    """SORT-style multi-object tracker.
+
+    Detections are associated to existing tracks by solving a linear
+    assignment problem on the IoU between Kalman-predicted boxes and new
+    detections.  Unmatched detections start new tracks; tracks that go
+    unmatched for ``max_misses`` consecutive frames are retired.
+    """
+
+    def __init__(
+        self,
+        name: str = "kalman_tracker",
+        iou_threshold: float = 0.2,
+        max_misses: int = 15,
+        cost_profile: CostProfile = CostProfile(base_ms=0.5, per_item_ms=0.05),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.iou_threshold = iou_threshold
+        self.max_misses = max_misses
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state (used when a pipeline starts a new video)."""
+        self._next_track_id = 1
+        self._filters: Dict[int, KalmanBoxFilter] = {}
+        self._tracks: Dict[int, Track] = {}
+
+    # -- association --------------------------------------------------------
+    def _associate(self, predicted: Dict[int, BBox], detections: Sequence[Detection]):
+        track_ids = list(predicted)
+        if not track_ids or not detections:
+            return {}, list(range(len(detections))), track_ids
+        ious = iou_matrix([predicted[t] for t in track_ids], [d.bbox for d in detections])
+        row, col = linear_sum_assignment(-ious)
+        matches: Dict[int, int] = {}
+        matched_dets = set()
+        matched_tracks = set()
+        for r, c in zip(row, col):
+            if ious[r, c] >= self.iou_threshold:
+                matches[track_ids[r]] = int(c)
+                matched_dets.add(int(c))
+                matched_tracks.add(track_ids[r])
+        unmatched_dets = [i for i in range(len(detections)) if i not in matched_dets]
+        unmatched_tracks = [t for t in track_ids if t not in matched_tracks]
+        return matches, unmatched_dets, unmatched_tracks
+
+    # -- public API ----------------------------------------------------------
+    def update(self, detections: Sequence[Detection], clock: Optional[SimClock] = None) -> List[Detection]:
+        """Assign track ids to this frame's detections and return them.
+
+        The returned detections are copies with ``track_id`` filled in,
+        in the same order as the input.
+        """
+        self.charge(clock, n_items=len(detections))
+        predicted = {tid: f.predict() for tid, f in self._filters.items()}
+        matches, unmatched_dets, unmatched_tracks = self._associate(predicted, detections)
+
+        out: List[Optional[Detection]] = [None] * len(detections)
+        for tid, det_idx in matches.items():
+            det = detections[det_idx].with_track(tid)
+            self._filters[tid].update(det.bbox)
+            self._tracks[tid].detections.append(det)
+            self._tracks[tid].misses = 0
+            out[det_idx] = det
+
+        for det_idx in unmatched_dets:
+            det = detections[det_idx]
+            tid = self._next_track_id
+            self._next_track_id += 1
+            self._filters[tid] = KalmanBoxFilter(det.bbox)
+            tracked = det.with_track(tid)
+            self._tracks[tid] = Track(track_id=tid, class_name=det.class_name, detections=[tracked])
+            out[det_idx] = tracked
+
+        for tid in unmatched_tracks:
+            self._tracks[tid].misses += 1
+            if self._tracks[tid].misses > self.max_misses:
+                del self._tracks[tid]
+                del self._filters[tid]
+
+        return [d for d in out if d is not None]
+
+    @property
+    def active_tracks(self) -> List[Track]:
+        return list(self._tracks.values())
+
+    def track(self, track_id: int) -> Optional[Track]:
+        return self._tracks.get(track_id)
+
+
+class IoUTracker(SimulatedModel):
+    """A greedy-IoU tracker (stand-in for the nor-fair tracker used by EVA).
+
+    No motion model: each detection is matched to the track whose last box
+    overlaps it the most.  Slightly cheaper and slightly less robust than
+    :class:`KalmanTracker`.
+    """
+
+    def __init__(
+        self,
+        name: str = "norfair_tracker",
+        iou_threshold: float = 0.25,
+        max_misses: int = 10,
+        cost_profile: CostProfile = CostProfile(base_ms=0.3, per_item_ms=0.03),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, cost_profile, seed)
+        self.iou_threshold = iou_threshold
+        self.max_misses = max_misses
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_track_id = 1
+        self._tracks: Dict[int, Track] = {}
+
+    def update(self, detections: Sequence[Detection], clock: Optional[SimClock] = None) -> List[Detection]:
+        """Assign track ids greedily by IoU with each track's last box."""
+        self.charge(clock, n_items=len(detections))
+        track_ids = list(self._tracks)
+        last_boxes = [self._tracks[t].last_bbox for t in track_ids]
+        ious = iou_matrix(last_boxes, [d.bbox for d in detections])
+        assigned_tracks: set[int] = set()
+        assigned_dets: set[int] = set()
+        out: List[Optional[Detection]] = [None] * len(detections)
+
+        # Greedy: repeatedly take the best remaining (track, detection) pair.
+        if ious.size:
+            order = np.dstack(np.unravel_index(np.argsort(-ious, axis=None), ious.shape))[0]
+            for r, c in order:
+                r, c = int(r), int(c)
+                if ious[r, c] < self.iou_threshold:
+                    break
+                tid = track_ids[r]
+                if tid in assigned_tracks or c in assigned_dets:
+                    continue
+                det = detections[c].with_track(tid)
+                self._tracks[tid].detections.append(det)
+                self._tracks[tid].misses = 0
+                assigned_tracks.add(tid)
+                assigned_dets.add(c)
+                out[c] = det
+
+        for i, det in enumerate(detections):
+            if i in assigned_dets:
+                continue
+            tid = self._next_track_id
+            self._next_track_id += 1
+            tracked = det.with_track(tid)
+            self._tracks[tid] = Track(track_id=tid, class_name=det.class_name, detections=[tracked])
+            out[i] = tracked
+
+        for tid in track_ids:
+            if tid not in assigned_tracks:
+                self._tracks[tid].misses += 1
+                if self._tracks[tid].misses > self.max_misses:
+                    del self._tracks[tid]
+        # Output preserves the input order (like KalmanTracker), which lets
+        # callers align raw and tracked detections positionally.
+        return [d for d in out if d is not None]
+
+    @property
+    def active_tracks(self) -> List[Track]:
+        return list(self._tracks.values())
+
+    def track(self, track_id: int) -> Optional[Track]:
+        return self._tracks.get(track_id)

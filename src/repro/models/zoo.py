@@ -1,0 +1,262 @@
+"""The built-in model zoo.
+
+VQPy's library ships a model zoo of detectors, trackers, and property models
+that VObj definitions refer to by name ("yolox", "color_detect", "upt", ...).
+:func:`default_zoo` returns a registry pre-populated with simulated versions
+of every model the paper's queries use, along with profiling metadata
+(relative cost tier and nominal accuracy) that the planner consults when it
+generates and compares alternative DAGs (§4.3–§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.common.clock import CostProfile
+from repro.models.base import ModelRegistry, SimulatedModel
+from repro.models.detector import BinaryClassifier, GeneralObjectDetector, SpecializedDetector
+from repro.models.framefilters import MotionFrameFilter, TextureFrameFilter
+from repro.models.interaction import ActionClassifier, InteractionModel
+from repro.models.properties import (
+    ColorModel,
+    DirectionEstimator,
+    FeatureVectorModel,
+    LicensePlateModel,
+    SpeedEstimator,
+    VehicleTypeModel,
+)
+from repro.models.tracker import IoUTracker, KalmanTracker
+
+
+class ModelZoo(ModelRegistry):
+    """A :class:`ModelRegistry` with instance caching.
+
+    Pipelines repeatedly ask for the same model by name; the zoo caches one
+    instance per (name, kwargs) so stateful models (trackers) keep their
+    state across operator calls within a pipeline, while distinct pipelines
+    can request fresh instances via ``fresh=True``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._instances: Dict[str, SimulatedModel] = {}
+
+    def get(self, name: str, fresh: bool = False, **kwargs: Any) -> SimulatedModel:
+        """Return a (possibly cached) instance of the named model."""
+        key = name if not kwargs else f"{name}:{sorted(kwargs.items())!r}"
+        if fresh or key not in self._instances:
+            instance = self.create(name, **kwargs)
+            if fresh:
+                return instance
+            self._instances[key] = instance
+        return self._instances[key]
+
+    def clear_instances(self) -> None:
+        self._instances.clear()
+
+
+#: Metadata keys used by the planner: ``kind`` (detector / tracker / property
+#: / filter / classifier / interaction), ``cost_tier`` (1 = cheapest), and
+#: ``nominal_accuracy`` (used before canary profiling refines it).
+
+
+def default_zoo(seed: int = 0) -> ModelZoo:
+    """Build the default model zoo with every built-in model registered."""
+    zoo = ModelZoo()
+
+    # -- general detectors ---------------------------------------------------
+    zoo.register(
+        "yolox",
+        lambda **kw: GeneralObjectDetector(name="yolox", seed=seed, **kw),
+        kind="detector",
+        cost_tier=4,
+        nominal_accuracy=0.97,
+        classes=("car", "bus", "truck", "person", "ball", "bicycle", "bag"),
+    )
+    zoo.register(
+        "yolov8m",
+        lambda **kw: GeneralObjectDetector(name="yolov8m", seed=seed + 1, **kw),
+        kind="detector",
+        cost_tier=4,
+        nominal_accuracy=0.97,
+        classes=("car", "bus", "truck", "person", "ball", "bicycle", "bag"),
+    )
+    zoo.register(
+        "dataset_tracks",
+        lambda **kw: GeneralObjectDetector(
+            name="dataset_tracks",
+            cost_profile=CostProfile(base_ms=0.5, per_item_ms=0.05),
+            miss_rate=0.0,
+            false_positive_rate=0.0,
+            bbox_sigma=0.0,
+            score_range=(0.98, 0.999),
+            seed=seed + 7,
+            **kw,
+        ),
+        kind="detector",
+        cost_tier=1,
+        nominal_accuracy=1.0,
+        classes=("car", "bus", "truck", "person", "ball", "bicycle", "bag"),
+        note="oracle reader for datasets that ship annotated tracks (e.g. CityFlow-NL)",
+    )
+    zoo.register(
+        "yolov5s",
+        lambda **kw: GeneralObjectDetector(
+            name="yolov5s",
+            cost_profile=GeneralObjectDetector("tmp").cost_profile.scaled(0.25),
+            miss_rate=0.06,
+            seed=seed + 2,
+            **kw,
+        ),
+        kind="detector",
+        cost_tier=2,
+        nominal_accuracy=0.92,
+        classes=("car", "bus", "truck", "person", "ball", "bicycle", "bag"),
+    )
+
+    # -- trackers -------------------------------------------------------------
+    zoo.register(
+        "kalman_tracker",
+        lambda **kw: KalmanTracker(seed=seed, **kw),
+        kind="tracker",
+        cost_tier=1,
+        nominal_accuracy=0.95,
+    )
+    zoo.register(
+        "norfair_tracker",
+        lambda **kw: IoUTracker(seed=seed, **kw),
+        kind="tracker",
+        cost_tier=1,
+        nominal_accuracy=0.93,
+    )
+
+    # -- property models --------------------------------------------------------
+    zoo.register(
+        "color_detect",
+        lambda **kw: ColorModel(seed=seed, **kw),
+        kind="property",
+        attribute="color",
+        cost_tier=3,
+        nominal_accuracy=0.95,
+    )
+    zoo.register(
+        "type_detect",
+        lambda **kw: VehicleTypeModel(seed=seed, **kw),
+        kind="property",
+        attribute="vehicle_type",
+        cost_tier=3,
+        nominal_accuracy=0.93,
+    )
+    zoo.register(
+        "license_plate",
+        lambda **kw: LicensePlateModel(seed=seed, **kw),
+        kind="property",
+        attribute="license_plate",
+        cost_tier=3,
+        nominal_accuracy=0.90,
+    )
+    zoo.register(
+        "reid_feature",
+        lambda **kw: FeatureVectorModel(seed=seed, **kw),
+        kind="property",
+        attribute="feature_vector",
+        cost_tier=3,
+        nominal_accuracy=0.95,
+    )
+    zoo.register(
+        "direction_estimator",
+        lambda **kw: DirectionEstimator(seed=seed, **kw),
+        kind="property",
+        attribute="direction",
+        cost_tier=1,
+        nominal_accuracy=0.95,
+    )
+    zoo.register(
+        "direction_classifier",
+        lambda **kw: DirectionEstimator(
+            name="direction_classifier", cost_profile=CostProfile(base_ms=8.0), seed=seed, **kw
+        ),
+        kind="property",
+        attribute="direction",
+        cost_tier=2,
+        nominal_accuracy=0.94,
+        note="trajectory-based direction classifier (the CVIP-style direction model)",
+    )
+    zoo.register(
+        "speed_estimator",
+        lambda **kw: SpeedEstimator(seed=seed, **kw),
+        kind="property",
+        attribute="speed",
+        cost_tier=1,
+        nominal_accuracy=0.97,
+    )
+    zoo.register(
+        "action_recognition",
+        lambda **kw: ActionClassifier(seed=seed, **kw),
+        kind="property",
+        attribute="action",
+        cost_tier=3,
+        nominal_accuracy=0.92,
+    )
+
+    # -- interaction model --------------------------------------------------------
+    zoo.register(
+        "upt",
+        lambda **kw: InteractionModel(seed=seed, **kw),
+        kind="interaction",
+        cost_tier=5,
+        nominal_accuracy=0.88,
+    )
+
+    # -- frame filters -------------------------------------------------------------
+    zoo.register(
+        "motion_filter",
+        lambda **kw: MotionFrameFilter(seed=seed, **kw),
+        kind="frame_filter",
+        cost_tier=1,
+        nominal_accuracy=0.99,
+    )
+    for cls in ("car", "person", "ball"):
+        zoo.register(
+            f"texture_{cls}_filter",
+            lambda target_class=cls, **kw: TextureFrameFilter(name=f"texture_{target_class}_filter", target_class=target_class, seed=seed, **kw),
+            kind="frame_filter",
+            cost_tier=1,
+            nominal_accuracy=0.96,
+            target_class=cls,
+        )
+
+    # -- specialized NNs / binary classifiers used by the evaluation -----------------
+    zoo.register(
+        "red_car_detector",
+        lambda **kw: SpecializedDetector(name="red_car_detector", target_class="car", attribute="color", attribute_value="red", seed=seed, **kw),
+        kind="detector",
+        cost_tier=2,
+        nominal_accuracy=0.90,
+        specialized_for={"class": "car", "color": "red"},
+    )
+    zoo.register(
+        "no_red_on_road",
+        lambda **kw: BinaryClassifier(name="no_red_on_road", target_class="car", attribute="color", attribute_value="red", seed=seed, **kw),
+        kind="binary_classifier",
+        cost_tier=1,
+        nominal_accuracy=0.94,
+        specialized_for={"class": "car", "color": "red"},
+    )
+    zoo.register(
+        "person_presence",
+        lambda **kw: BinaryClassifier(name="person_presence", target_class="person", seed=seed, **kw),
+        kind="binary_classifier",
+        cost_tier=1,
+        nominal_accuracy=0.95,
+        specialized_for={"class": "person"},
+    )
+    zoo.register(
+        "ball_presence",
+        lambda **kw: BinaryClassifier(name="ball_presence", target_class="ball", seed=seed, **kw),
+        kind="binary_classifier",
+        cost_tier=1,
+        nominal_accuracy=0.94,
+        specialized_for={"class": "ball"},
+    )
+    return zoo

@@ -1,0 +1,44 @@
+"""Synthetic video substrate.
+
+The paper evaluates on real surveillance footage (CityFlow-NL, public
+traffic cameras, V-COCO images).  We have no access to that footage, so this
+package generates *synthetic videos*: frame sequences whose ground truth —
+objects, attributes, trajectories, actions, and interactions — is scripted
+by dataset presets that mirror the statistical structure the paper relies on
+(e.g. green vehicles are rare, there are never more than four cars on the
+Auburn crossing at once).
+
+The simulated model zoo in :mod:`repro.models` reads this ground truth and
+perturbs it with seeded error models; no pixel data is ever materialised.
+"""
+
+from repro.videosim.entities import ObjectSpec, GTInstance, InteractionEvent
+from repro.videosim.trajectory import (
+    Trajectory,
+    LinearTrajectory,
+    TurnTrajectory,
+    StationaryTrajectory,
+    LoiterTrajectory,
+    WaypointTrajectory,
+)
+from repro.videosim.video import Frame, SyntheticVideo, VideoReader
+from repro.videosim.scene import SceneGenerator, TrafficSceneConfig
+from repro.videosim import datasets
+
+__all__ = [
+    "ObjectSpec",
+    "GTInstance",
+    "InteractionEvent",
+    "Trajectory",
+    "LinearTrajectory",
+    "TurnTrajectory",
+    "StationaryTrajectory",
+    "LoiterTrajectory",
+    "WaypointTrajectory",
+    "Frame",
+    "SyntheticVideo",
+    "VideoReader",
+    "SceneGenerator",
+    "TrafficSceneConfig",
+    "datasets",
+]

@@ -1,0 +1,314 @@
+"""Dataset presets mirroring the paper's evaluation videos.
+
+The paper evaluates on five real datasets (§5):
+
+* **CityFlow-NL** (36 intersection clips, 10 fps, ≥960p, 184 vehicle tracks)
+  for the CVIP comparison (Figure 13, Table 1),
+* three public traffic cameras — **Banff**, **Jackson Hole**,
+  **Southampton** (Table 3) — for the EVA comparison (Figures 14–16),
+* the **Auburn** crossroad camera and the **V-COCO** image set for the
+  MLLM comparison (Tables 4–7).
+
+Each preset here builds a synthetic stand-in with the same frame rate,
+resolution and the attribute/event statistics the evaluation depends on.
+Durations are parameters so tests and benchmarks can run scaled-down clips
+while experiments label results with the paper's nominal 3/10-minute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import VideoSpec
+from repro.common.rng import derive_rng
+from repro.videosim import events as ev
+from repro.videosim.entities import InteractionEvent, ObjectSpec
+from repro.videosim.scene import SceneGenerator, TrafficSceneConfig
+from repro.videosim.trajectory import LinearTrajectory, TurnTrajectory
+from repro.videosim.video import SyntheticVideo
+
+# ---------------------------------------------------------------------------
+# Table 3: public surveillance cameras
+# ---------------------------------------------------------------------------
+
+#: Camera presets from Table 3 (plus Auburn used in §5.3).
+CAMERA_SPECS: Dict[str, VideoSpec] = {
+    "banff": VideoSpec("banff", fps=15, width=1280, height=720, duration_s=180),
+    "jackson": VideoSpec("jackson", fps=15, width=1920, height=1080, duration_s=180),
+    "southampton": VideoSpec("southampton", fps=30, width=1920, height=1080, duration_s=180),
+    "auburn": VideoSpec("auburn", fps=15, width=1920, height=1080, duration_s=600),
+}
+
+#: Per-camera traffic densities (vehicles / pedestrians per minute).  Banff
+#: and Jackson are town squares with light traffic; Southampton is a busier
+#: road; Auburn is a crossroad with a crosswalk.
+_CAMERA_TRAFFIC: Dict[str, TrafficSceneConfig] = {
+    "banff": TrafficSceneConfig(vehicles_per_minute=8, pedestrians_per_minute=6, speeding_fraction=0.10),
+    "jackson": TrafficSceneConfig(vehicles_per_minute=14, pedestrians_per_minute=8, speeding_fraction=0.15),
+    "southampton": TrafficSceneConfig(vehicles_per_minute=20, pedestrians_per_minute=3, speeding_fraction=0.20),
+    "auburn": TrafficSceneConfig(vehicles_per_minute=10, pedestrians_per_minute=10, speeding_fraction=0.10),
+}
+
+
+def camera_clip(
+    camera: str,
+    duration_s: float,
+    seed: int = 0,
+    config: Optional[TrafficSceneConfig] = None,
+) -> SyntheticVideo:
+    """A clip from one of the Table-3 cameras with its default traffic mix."""
+    if camera not in CAMERA_SPECS:
+        raise KeyError(f"unknown camera {camera!r}; choose from {sorted(CAMERA_SPECS)}")
+    spec = CAMERA_SPECS[camera].with_duration(duration_s)
+    cfg = config or _CAMERA_TRAFFIC[camera]
+    return SceneGenerator(spec, cfg, seed=seed).generate_video()
+
+
+def eva_comparison_clips(
+    duration_s: float,
+    num_clips: int = 5,
+    seed: int = 0,
+) -> Dict[str, List[SyntheticVideo]]:
+    """The §5.2 dataset: ``num_clips`` clips per camera at the given duration.
+
+    The paper uses 5 clips of 3 minutes and 5 clips of 10 minutes per camera.
+    """
+    out: Dict[str, List[SyntheticVideo]] = {}
+    for camera in ("banff", "jackson", "southampton"):
+        out[camera] = [camera_clip(camera, duration_s, seed=seed * 1000 + i) for i in range(num_clips)]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CityFlow-NL-like intersection clips (Figure 13 / Table 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CityFlowQuery:
+    """A standardised CityFlow-NL query: colour + vehicle type + direction."""
+
+    query_id: str
+    natural_language: str
+    color: str
+    vehicle_type: str
+    direction: str
+
+    @property
+    def standardized(self) -> str:
+        direction = {"go_straight": "go straight", "turn_right": "turn right", "turn_left": "turn left"}[self.direction]
+        return f"{self.color} {self.vehicle_type} {direction}"
+
+
+#: Table 1: the five queries selected from CityFlow-NL.
+CITYFLOW_QUERIES: Tuple[CityFlowQuery, ...] = (
+    CityFlowQuery("Q1", "A green sedan is keeping straight.", "green", "sedan", "go_straight"),
+    CityFlowQuery("Q2", "A green bus going straight down the street followed by a white car.", "green", "bus", "go_straight"),
+    CityFlowQuery("Q3", "A red sedan runs down the street.", "red", "sedan", "go_straight"),
+    CityFlowQuery("Q4", "A black sedan keeps driving forward.", "black", "sedan", "go_straight"),
+    CityFlowQuery("Q5", "A large black SUV turns right.", "black", "suv", "turn_right"),
+)
+
+
+def cityflow_clip(
+    clip_index: int,
+    seed: int = 0,
+    duration_s: float = 60.0,
+    tracks_per_clip: int = 5,
+) -> SyntheticVideo:
+    """One CityFlow-like intersection clip with ``tracks_per_clip`` vehicle tracks.
+
+    Track attributes follow the default colour/type skew so that the
+    Table-1 queries have the relative selectivities the paper observes
+    (green vehicles rare, black vehicles common).
+    """
+    spec = VideoSpec(f"cityflow_{clip_index:02d}", fps=10, width=1280, height=960, duration_s=duration_s)
+    rng = derive_rng(seed, "cityflow", clip_index)
+    gen = SceneGenerator(spec, TrafficSceneConfig(vehicles_per_minute=0, pedestrians_per_minute=2), seed=seed * 101 + clip_index)
+    objects: List[ObjectSpec] = []
+    # Hand-build the vehicle tracks so each clip has exactly the requested
+    # number and they stay in frame for most of the clip (like the annotated
+    # CityFlow tracks).
+    base_gen = SceneGenerator(spec, TrafficSceneConfig(), seed=seed * 919 + clip_index)
+    num_frames = spec.num_frames
+    for t in range(tracks_per_clip):
+        enter = int(rng.integers(0, max(num_frames // 3, 1)))
+        vehicle = base_gen._make_vehicle(rng, enter)
+        # The scripted tracks get a disjoint id range so they never collide
+        # with the background objects generated by `gen`.
+        vehicle.object_id = 500_000 + t
+        # Re-balance attributes so each query has some positives across the
+        # 36-clip dataset: occasionally force a query-matching combination.
+        if rng.random() < 0.18:
+            query = CITYFLOW_QUERIES[int(rng.integers(0, len(CITYFLOW_QUERIES)))]
+            vehicle.attributes["color"] = query.color
+            vehicle.attributes["vehicle_type"] = query.vehicle_type
+            vehicle.attributes["direction"] = query.direction
+            if query.vehicle_type == "bus":
+                vehicle.class_name = "bus"
+                vehicle.size = (260.0, 110.0)
+        objects.append(vehicle)
+    return gen.generate_video(extra_objects=objects)
+
+
+def cityflow_dataset(
+    num_clips: int = 36,
+    seed: int = 0,
+    duration_s: float = 60.0,
+    tracks_per_clip: int = 5,
+) -> List[SyntheticVideo]:
+    """The full CityFlow-like test set (36 clips, ~184 tracks at defaults)."""
+    return [cityflow_clip(i, seed=seed, duration_s=duration_s, tracks_per_clip=tracks_per_clip) for i in range(num_clips)]
+
+
+# ---------------------------------------------------------------------------
+# Auburn crossroad (Q1–Q5 of the MLLM comparison)
+# ---------------------------------------------------------------------------
+
+
+def auburn_clip(duration_s: float = 600.0, seed: int = 0) -> SyntheticVideo:
+    """The Auburn-like crossroad clip used for MLLM queries Q1–Q5.
+
+    The generator keeps the ground truth consistent with the paper's
+    spot-checks: never more than ~4 cars on the crossing at once and never
+    more than 10 walking people, with people regularly using the crosswalk
+    and a minority of vehicles turning left at the crossing.
+    """
+    spec = CAMERA_SPECS["auburn"].with_duration(duration_s)
+    cfg = TrafficSceneConfig(
+        vehicles_per_minute=9,
+        pedestrians_per_minute=8,
+        speeding_fraction=0.08,
+        direction_dist={"go_straight": 0.6, "turn_left": 0.25, "turn_right": 0.15},
+        color_dist={"black": 0.22, "white": 0.22, "gray": 0.16, "silver": 0.10, "red": 0.18, "blue": 0.08, "green": 0.04},
+    )
+    return SceneGenerator(spec, cfg, seed=seed).generate_video(
+        scene_attributes={"time_of_day": "day", "weather": "clear", "location": "crossroad"}
+    )
+
+
+# ---------------------------------------------------------------------------
+# V-COCO-like human-object-interaction image set (Q6)
+# ---------------------------------------------------------------------------
+
+
+def vcoco_images(
+    num_images: int = 400,
+    seed: int = 0,
+    positive_rate: float = 0.049,
+) -> List[SyntheticVideo]:
+    """Single-frame "videos" with person/ball layouts; ~4.9% contain a *hit*.
+
+    The paper treats each V-COCO image as an independent clip and queries
+    "is anyone hitting the ball?"; the low positive rate (4.9%) is what makes
+    the F1 comparison in Table 6 stark.
+    """
+    rng = derive_rng(seed, "vcoco")
+    images: List[SyntheticVideo] = []
+    for i in range(num_images):
+        spec = VideoSpec(f"vcoco_{i:05d}", fps=1, width=640, height=480, duration_s=1.0)
+        objects: List[ObjectSpec] = []
+        interaction_events: List[InteractionEvent] = []
+        is_positive = rng.random() < positive_rate
+        if is_positive:
+            objs, evs = ev.person_hits_ball(person_id=1, ball_id=2, position=(float(rng.uniform(150, 500)), float(rng.uniform(150, 380))))
+            objects += objs
+            interaction_events += evs
+        else:
+            # Negatives: people and/or balls present but no hit interaction,
+            # mirroring V-COCO's hard negatives.
+            n_people = int(rng.integers(0, 3))
+            for p in range(n_people):
+                person = ObjectSpec(
+                    object_id=10 + p,
+                    class_name="person",
+                    trajectory=LinearTrajectory((float(rng.uniform(50, 590)), float(rng.uniform(100, 430))), (0.0, 0.0)),
+                    size=(40.0, 100.0),
+                    exit_frame=0,
+                    attributes={"clothing": "jeans", "hair": "black"},
+                    default_action="standing",
+                )
+                objects.append(person)
+            if rng.random() < 0.4:
+                ball = ObjectSpec(
+                    object_id=30,
+                    class_name="ball",
+                    trajectory=LinearTrajectory((float(rng.uniform(50, 590)), float(rng.uniform(100, 430))), (0.0, 0.0)),
+                    size=(18.0, 18.0),
+                    exit_frame=0,
+                    attributes={"color": "white"},
+                )
+                objects.append(ball)
+        images.append(SyntheticVideo(spec, objects, events=interaction_events, seed=seed * 7919 + i))
+    return images
+
+
+# ---------------------------------------------------------------------------
+# Scenario clips for the examples (suspect-into-red-car, hit-and-run, ...)
+# ---------------------------------------------------------------------------
+
+
+def suspect_scenario_clip(duration_s: float = 120.0, seed: int = 3) -> SyntheticVideo:
+    """Background traffic plus a scripted "suspect gets into a red car" event."""
+    spec = CAMERA_SPECS["jackson"].with_duration(duration_s)
+    gen = SceneGenerator(spec, _CAMERA_TRAFFIC["jackson"], seed=seed)
+    objs, evs = ev.person_gets_into_car(
+        person_id=900001,
+        car_id=900002,
+        car_position=(spec.width * 0.55, spec.height * 0.6),
+        start_frame=int(spec.num_frames * 0.2),
+        car_color="red",
+        person_attributes={"is_suspect": True},
+    )
+    return gen.generate_video(extra_objects=objs, events=evs)
+
+
+def hit_and_run_clip(duration_s: float = 120.0, seed: int = 4) -> SyntheticVideo:
+    """Background traffic plus a scripted hit-and-run event (Figure 8)."""
+    spec = CAMERA_SPECS["banff"].with_duration(duration_s)
+    gen = SceneGenerator(spec, _CAMERA_TRAFFIC["banff"], seed=seed)
+    objs, evs = ev.hit_and_run(
+        car_id=910001,
+        person_id=910002,
+        collision_point=(spec.width * 0.5, spec.height * 0.55),
+        collision_frame=int(spec.num_frames * 0.4),
+    )
+    return gen.generate_video(extra_objects=objs, events=evs)
+
+
+def loitering_clip(duration_s: float = 300.0, seed: int = 5, loiter_seconds: float = 120.0) -> SyntheticVideo:
+    """A clip with one long-duration loiterer plus passers-by (§5.4)."""
+    spec = CAMERA_SPECS["banff"].with_duration(duration_s)
+    gen = SceneGenerator(
+        spec,
+        TrafficSceneConfig(vehicles_per_minute=4, pedestrians_per_minute=6, loiter_fraction=0.0),
+        seed=seed,
+    )
+    objs, evs = ev.loitering_person(
+        person_id=920001,
+        region_center=(spec.width * 0.3, spec.height * 0.6),
+        start_frame=int(spec.fps * 5),
+        duration_frames=int(spec.fps * loiter_seconds),
+    )
+    return gen.generate_video(extra_objects=objs, events=evs)
+
+
+def queue_clip(duration_s: float = 180.0, seed: int = 6, queue_length: int = 6) -> SyntheticVideo:
+    """A retail checkout scene with a persistent queue of people (§5.4)."""
+    spec = VideoSpec("retail", fps=15, width=1280, height=720, duration_s=duration_s)
+    gen = SceneGenerator(
+        spec,
+        TrafficSceneConfig(vehicles_per_minute=0, pedestrians_per_minute=4, loiter_fraction=0.0),
+        seed=seed,
+    )
+    objs, evs = ev.checkout_queue(
+        first_person_id=930001,
+        queue_head=(spec.width * 0.25, spec.height * 0.55),
+        num_people=queue_length,
+        start_frame=int(spec.fps * 2),
+        duration_frames=int(spec.num_frames - spec.fps * 4),
+    )
+    return gen.generate_video(extra_objects=objs, events=evs)

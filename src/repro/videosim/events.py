@@ -1,0 +1,267 @@
+"""Scripted multi-object events.
+
+These helpers build coordinated object groups and interaction events for the
+scenarios the paper's example queries search for: a suspect getting into a
+red car (Figures 9–10), hit-and-run (Figure 8), a person hitting a ball
+(Q6, V-COCO), loitering (§5.4), and a checkout queue (§5.4).
+
+Each helper returns ``(objects, events)`` that can be merged into a scene
+via :meth:`repro.videosim.scene.SceneGenerator.generate_video`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.videosim.entities import InteractionEvent, ObjectSpec
+from repro.videosim.trajectory import (
+    LinearTrajectory,
+    LoiterTrajectory,
+    StationaryTrajectory,
+    WaypointTrajectory,
+)
+
+BuiltEvent = Tuple[List[ObjectSpec], List[InteractionEvent]]
+
+
+def person_gets_into_car(
+    person_id: int,
+    car_id: int,
+    car_position: Tuple[float, float],
+    start_frame: int,
+    *,
+    approach_frames: int = 120,
+    car_color: str = "red",
+    car_attributes: Optional[Dict[str, object]] = None,
+    person_attributes: Optional[Dict[str, object]] = None,
+    drive_off: bool = True,
+    drive_speed: float = 8.0,
+) -> BuiltEvent:
+    """A person walks to a parked car, gets in, and the car (optionally) drives off."""
+    cx, cy = car_position
+    enter_frame = start_frame + approach_frames
+    leave_frame = enter_frame + 30
+
+    person_start = (cx - 300.0, cy + 120.0)
+    person = ObjectSpec(
+        object_id=person_id,
+        class_name="person",
+        trajectory=WaypointTrajectory(
+            [(start_frame, person_start), (enter_frame, (cx, cy)), (leave_frame, (cx, cy))]
+        ),
+        size=(35.0, 90.0),
+        enter_frame=start_frame,
+        exit_frame=leave_frame,
+        attributes={"clothing": "jeans", "hair": "black", **(person_attributes or {})},
+        default_action="walking",
+        action_schedule={f: "getting_into_car" for f in range(enter_frame, leave_frame + 1)},
+    )
+
+    car_waypoints = [(start_frame, (cx, cy)), (leave_frame, (cx, cy))]
+    if drive_off:
+        car_waypoints.append((leave_frame + 200, (cx + drive_speed * 200, cy)))
+    car = ObjectSpec(
+        object_id=car_id,
+        class_name="car",
+        trajectory=WaypointTrajectory(car_waypoints, hold_at_end=not drive_off),
+        size=(120.0, 60.0),
+        enter_frame=0,
+        attributes={
+            "color": car_color,
+            "vehicle_type": "sedan",
+            "license_plate": "SUS4545",
+            "direction": "go_straight",
+            "speeding": False,
+            **(car_attributes or {}),
+        },
+    )
+    events = [
+        InteractionEvent(person_id, car_id, "get_into", enter_frame, leave_frame),
+    ]
+    return [person, car], events
+
+
+def hit_and_run(
+    car_id: int,
+    person_id: int,
+    collision_point: Tuple[float, float],
+    collision_frame: int,
+    *,
+    car_color: str = "white",
+    flee_speed: float = 18.0,
+    approach_speed: float = 6.0,
+) -> BuiltEvent:
+    """A car collides with a pedestrian, then speeds away (Figure 8's scenario)."""
+    cx, cy = collision_point
+    approach_frames = 150
+    start_frame = max(collision_frame - approach_frames, 0)
+
+    car_start = (cx - approach_speed * (collision_frame - start_frame), cy)
+    flee_end_frame = collision_frame + 200
+    car = ObjectSpec(
+        object_id=car_id,
+        class_name="car",
+        trajectory=WaypointTrajectory(
+            [
+                (start_frame, car_start),
+                (collision_frame, (cx, cy)),
+                (flee_end_frame, (cx + flee_speed * (flee_end_frame - collision_frame), cy)),
+            ],
+            hold_at_end=False,
+        ),
+        size=(120.0, 60.0),
+        enter_frame=start_frame,
+        attributes={
+            "color": car_color,
+            "vehicle_type": "sedan",
+            "license_plate": "RUN0911",
+            "direction": "go_straight",
+            "speeding": True,
+        },
+    )
+    person = ObjectSpec(
+        object_id=person_id,
+        class_name="person",
+        trajectory=WaypointTrajectory(
+            [
+                (start_frame, (cx, cy + 250.0)),
+                (collision_frame, (cx + 10.0, cy + 5.0)),
+                (collision_frame + 600, (cx + 15.0, cy + 10.0)),
+            ]
+        ),
+        size=(35.0, 90.0),
+        enter_frame=start_frame,
+        attributes={"clothing": "jeans", "hair": "brown"},
+        default_action="crossing",
+        action_schedule={f: "fallen" for f in range(collision_frame, collision_frame + 600)},
+    )
+    events = [
+        InteractionEvent(car_id, person_id, "collide", collision_frame - 3, collision_frame + 3),
+    ]
+    return [car, person], events
+
+
+def person_hits_ball(
+    person_id: int,
+    ball_id: int,
+    position: Tuple[float, float],
+    start_frame: int = 0,
+    duration: int = 1,
+) -> BuiltEvent:
+    """A person–ball "hit" interaction (the V-COCO style HOI for Q6)."""
+    px, py = position
+    end_frame = start_frame + max(duration - 1, 0)
+    person = ObjectSpec(
+        object_id=person_id,
+        class_name="person",
+        trajectory=StationaryTrajectory((px, py)),
+        size=(40.0, 100.0),
+        enter_frame=start_frame,
+        exit_frame=end_frame,
+        attributes={"clothing": "shorts", "hair": "black"},
+        default_action="hitting",
+    )
+    ball = ObjectSpec(
+        object_id=ball_id,
+        class_name="ball",
+        trajectory=StationaryTrajectory((px + 45.0, py - 20.0)),
+        size=(18.0, 18.0),
+        enter_frame=start_frame,
+        exit_frame=end_frame,
+        attributes={"color": "white"},
+    )
+    events = [InteractionEvent(person_id, ball_id, "hit", start_frame, end_frame)]
+    return [person, ball], events
+
+
+def loitering_person(
+    person_id: int,
+    region_center: Tuple[float, float],
+    start_frame: int,
+    duration_frames: int,
+    *,
+    radius: float = 60.0,
+) -> BuiltEvent:
+    """A person who stays inside a region for ``duration_frames`` (loitering alert)."""
+    person = ObjectSpec(
+        object_id=person_id,
+        class_name="person",
+        trajectory=LoiterTrajectory(region_center, radius=radius, period_frames=240),
+        size=(35.0, 90.0),
+        enter_frame=start_frame,
+        exit_frame=start_frame + duration_frames,
+        attributes={"clothing": "suit", "hair": "gray"},
+        default_action="loitering",
+    )
+    return [person], []
+
+
+def checkout_queue(
+    first_person_id: int,
+    queue_head: Tuple[float, float],
+    num_people: int,
+    start_frame: int,
+    duration_frames: int,
+    *,
+    spacing: float = 60.0,
+) -> BuiltEvent:
+    """A line of people waiting at a checkout (queue-analysis use case)."""
+    if num_people < 1:
+        raise ValueError("queue needs at least one person")
+    hx, hy = queue_head
+    people: List[ObjectSpec] = []
+    for i in range(num_people):
+        people.append(
+            ObjectSpec(
+                object_id=first_person_id + i,
+                class_name="person",
+                trajectory=StationaryTrajectory((hx + spacing * i, hy), jitter=2.0, seed=first_person_id + i),
+                size=(35.0, 90.0),
+                enter_frame=start_frame,
+                exit_frame=start_frame + duration_frames,
+                attributes={"clothing": "jeans", "hair": "brown", "in_queue": True},
+                default_action="standing",
+            )
+        )
+    return people, []
+
+
+def abandoned_bag(
+    bag_id: int,
+    position: Tuple[float, float],
+    start_frame: int,
+    duration_frames: int,
+) -> BuiltEvent:
+    """A stationary unattended bag (the DurationQuery example from §3)."""
+    bag = ObjectSpec(
+        object_id=bag_id,
+        class_name="bag",
+        trajectory=StationaryTrajectory(position),
+        size=(30.0, 25.0),
+        enter_frame=start_frame,
+        exit_frame=start_frame + duration_frames,
+        attributes={"color": "black"},
+    )
+    return [bag], []
+
+
+def jaywalking_person(
+    person_id: int,
+    road_y: float,
+    frame_width: float,
+    start_frame: int,
+    *,
+    speed: float = 2.0,
+) -> BuiltEvent:
+    """A pedestrian crossing mid-road, used by the traffic-hazard examples."""
+    person = ObjectSpec(
+        object_id=person_id,
+        class_name="person",
+        trajectory=LinearTrajectory((frame_width * 0.5, road_y + 300.0), (0.0, -speed)),
+        size=(35.0, 90.0),
+        enter_frame=start_frame,
+        exit_frame=start_frame + int(600 / speed),
+        attributes={"clothing": "shorts", "hair": "black"},
+        default_action="crossing",
+    )
+    return [person], []

@@ -1,0 +1,290 @@
+"""Stochastic traffic-scene generation.
+
+The :class:`SceneGenerator` spawns vehicles and pedestrians with configurable
+arrival rates and attribute distributions, producing the object population of
+a :class:`~repro.videosim.video.SyntheticVideo`.  Dataset presets in
+:mod:`repro.videosim.datasets` wrap it with distributions matching each of
+the paper's evaluation videos.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import VideoSpec
+from repro.common.rng import derive_rng
+from repro.videosim.entities import (
+    InteractionEvent,
+    ObjectSpec,
+    VEHICLE_COLORS,
+    VEHICLE_TYPES,
+)
+from repro.videosim.trajectory import (
+    LinearTrajectory,
+    LoiterTrajectory,
+    TurnTrajectory,
+)
+from repro.videosim.video import SyntheticVideo
+
+
+def _normalise(dist: Dict[str, float]) -> Dict[str, float]:
+    total = sum(dist.values())
+    if total <= 0:
+        raise ValueError("distribution weights must sum to a positive value")
+    return {k: v / total for k, v in dist.items()}
+
+
+#: Default vehicle colour distribution: dark/neutral colours dominate, green
+#: is rare — this is the skew §5.1 relies on ("green vehicles ... are less
+#: common in the dataset", so filters prune more work for green queries).
+DEFAULT_COLOR_DIST: Dict[str, float] = {
+    "black": 0.28,
+    "white": 0.24,
+    "gray": 0.18,
+    "silver": 0.10,
+    "red": 0.09,
+    "blue": 0.08,
+    "green": 0.03,
+}
+
+DEFAULT_TYPE_DIST: Dict[str, float] = {
+    "sedan": 0.45,
+    "suv": 0.25,
+    "hatchback": 0.15,
+    "pickup": 0.10,
+    "van": 0.05,
+}
+
+DEFAULT_DIRECTION_DIST: Dict[str, float] = {
+    "go_straight": 0.70,
+    "turn_right": 0.15,
+    "turn_left": 0.15,
+}
+
+
+@dataclass
+class TrafficSceneConfig:
+    """Knobs for the stochastic traffic scene generator."""
+
+    #: Expected number of vehicles entering the scene per minute.
+    vehicles_per_minute: float = 12.0
+    #: Expected number of pedestrians entering the scene per minute.
+    pedestrians_per_minute: float = 4.0
+    #: Fraction of vehicles that are speeding (fast velocity).
+    speeding_fraction: float = 0.15
+    #: Fraction of vehicles that are buses / trucks rather than cars.
+    bus_fraction: float = 0.05
+    truck_fraction: float = 0.05
+    color_dist: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_COLOR_DIST))
+    type_dist: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_TYPE_DIST))
+    direction_dist: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_DIRECTION_DIST))
+    #: Pixels/frame speed ranges (normal, speeding).
+    normal_speed: Tuple[float, float] = (3.0, 8.0)
+    speeding_speed: Tuple[float, float] = (14.0, 22.0)
+    pedestrian_speed: Tuple[float, float] = (0.8, 2.5)
+    #: Fraction of pedestrians that loiter instead of crossing.
+    loiter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.color_dist = _normalise(self.color_dist)
+        self.type_dist = _normalise(self.type_dist)
+        self.direction_dist = _normalise(self.direction_dist)
+        for name in ("vehicles_per_minute", "pedestrians_per_minute"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class SceneGenerator:
+    """Generates the object population of a traffic scene."""
+
+    def __init__(self, spec: VideoSpec, config: Optional[TrafficSceneConfig] = None, seed: int = 0) -> None:
+        self.spec = spec
+        self.config = config or TrafficSceneConfig()
+        self.seed = seed
+        self._id_counter = itertools.count(1)
+
+    # -- helpers -----------------------------------------------------------
+    def _next_id(self) -> int:
+        return next(self._id_counter)
+
+    def _sample(self, rng: np.random.Generator, dist: Dict[str, float]) -> str:
+        keys = sorted(dist)
+        probs = np.array([dist[k] for k in keys])
+        return str(rng.choice(keys, p=probs / probs.sum()))
+
+    def _license_plate(self, rng: np.random.Generator) -> str:
+        letters = "".join(rng.choice(list("ABCDEFGHJKLMNPRSTUVWXYZ"), size=3))
+        digits = "".join(str(d) for d in rng.integers(0, 10, size=4))
+        return f"{letters}{digits}"
+
+    def _arrival_frames(self, rng: np.random.Generator, per_minute: float) -> List[int]:
+        """Poisson arrivals over the clip duration, as frame indices."""
+        duration_min = self.spec.duration_s / 60.0
+        expected = per_minute * duration_min
+        count = int(rng.poisson(expected)) if expected > 0 else 0
+        if count == 0:
+            return []
+        frames = np.sort(rng.integers(0, max(self.spec.num_frames - 1, 1), size=count))
+        return [int(f) for f in frames]
+
+    # -- vehicles ----------------------------------------------------------
+    def _make_vehicle(self, rng: np.random.Generator, enter_frame: int) -> ObjectSpec:
+        cfg = self.config
+        roll = rng.random()
+        if roll < cfg.bus_fraction:
+            class_name, size = "bus", (260.0, 110.0)
+        elif roll < cfg.bus_fraction + cfg.truck_fraction:
+            class_name, size = "truck", (220.0, 100.0)
+        else:
+            class_name, size = "car", (120.0, 60.0)
+
+        speeding = rng.random() < cfg.speeding_fraction
+        lo, hi = cfg.speeding_speed if speeding else cfg.normal_speed
+        speed = float(rng.uniform(lo, hi))
+
+        # Vehicles cross the frame horizontally on one of two lanes.
+        going_right = rng.random() < 0.5
+        lane_y = float(rng.uniform(0.45, 0.75) * self.spec.height)
+        start_x = -150.0 if going_right else self.spec.width + 150.0
+        vx = speed if going_right else -speed
+
+        direction = self._sample(rng, cfg.direction_dist)
+        if direction == "go_straight":
+            trajectory = LinearTrajectory((start_x, lane_y), (vx, 0.0))
+        else:
+            turn_deg = 80.0 if direction == "turn_right" else -80.0
+            if not going_right:
+                turn_deg = -turn_deg
+            turn_frame = enter_frame + int(rng.integers(30, 90))
+            trajectory = TurnTrajectory((start_x, lane_y), (vx, 0.0), turn_frame=turn_frame - enter_frame, turn_deg=turn_deg)
+
+        travel_frames = int((self.spec.width + 400) / max(speed, 1e-6))
+        attributes = {
+            "color": self._sample(rng, cfg.color_dist),
+            "vehicle_type": self._sample(rng, cfg.type_dist),
+            "license_plate": self._license_plate(rng),
+            "direction": direction,
+            "speeding": speeding,
+        }
+        if class_name == "bus":
+            attributes["vehicle_type"] = "bus"
+        elif class_name == "truck":
+            attributes["vehicle_type"] = "pickup"
+        return ObjectSpec(
+            object_id=self._next_id(),
+            class_name=class_name,
+            trajectory=_shifted(trajectory, enter_frame),
+            size=size,
+            enter_frame=enter_frame,
+            exit_frame=min(enter_frame + travel_frames, self.spec.num_frames - 1),
+            attributes=attributes,
+        )
+
+    # -- pedestrians ---------------------------------------------------------
+    def _make_pedestrian(self, rng: np.random.Generator, enter_frame: int) -> ObjectSpec:
+        cfg = self.config
+        speed = float(rng.uniform(*cfg.pedestrian_speed))
+        loiters = rng.random() < cfg.loiter_fraction
+        size = (35.0, 90.0)
+        if loiters:
+            center = (
+                float(rng.uniform(0.2, 0.8) * self.spec.width),
+                float(rng.uniform(0.3, 0.9) * self.spec.height),
+            )
+            trajectory = LoiterTrajectory(center, radius=float(rng.uniform(30, 80)), period_frames=int(rng.integers(150, 400)))
+            action = "loitering"
+            lifetime = int(rng.integers(self.spec.fps * 30, self.spec.fps * 200))
+        else:
+            # Cross the frame vertically (a crosswalk crossing).
+            going_down = rng.random() < 0.5
+            x = float(rng.uniform(0.25, 0.75) * self.spec.width)
+            start_y = -100.0 if going_down else self.spec.height + 100.0
+            vy = speed if going_down else -speed
+            trajectory = LinearTrajectory((x, start_y), (0.0, vy))
+            action = "crossing"
+            lifetime = int((self.spec.height + 250) / max(speed, 1e-6))
+        attributes = {
+            "clothing": str(rng.choice(["jeans", "shorts", "dress", "suit"])),
+            "hair": str(rng.choice(["black", "brown", "blond", "gray"])),
+        }
+        return ObjectSpec(
+            object_id=self._next_id(),
+            class_name="person",
+            trajectory=_shifted(trajectory, enter_frame),
+            size=size,
+            enter_frame=enter_frame,
+            exit_frame=min(enter_frame + lifetime, self.spec.num_frames - 1),
+            attributes=attributes,
+            default_action=action,
+        )
+
+    # -- public API ----------------------------------------------------------
+    def generate_objects(self) -> List[ObjectSpec]:
+        """Generate the full object population for the clip."""
+        rng_v = derive_rng(self.seed, "scene", self.spec.name, "vehicles")
+        rng_p = derive_rng(self.seed, "scene", self.spec.name, "pedestrians")
+        objects: List[ObjectSpec] = []
+        for enter in self._arrival_frames(rng_v, self.config.vehicles_per_minute):
+            objects.append(self._make_vehicle(rng_v, enter))
+        for enter in self._arrival_frames(rng_p, self.config.pedestrians_per_minute):
+            objects.append(self._make_pedestrian(rng_p, enter))
+        return objects
+
+    def generate_video(
+        self,
+        extra_objects: Sequence[ObjectSpec] = (),
+        events: Sequence[InteractionEvent] = (),
+        scene_attributes: Optional[Dict[str, object]] = None,
+    ) -> SyntheticVideo:
+        """Generate the video, optionally merging scripted extra objects/events."""
+        objects = self.generate_objects()
+        objects.extend(extra_objects)
+        return SyntheticVideo(
+            self.spec,
+            objects,
+            events=events,
+            scene_attributes=scene_attributes or {"time_of_day": "day", "weather": "clear"},
+            seed=self.seed,
+        )
+
+    def reserve_id(self) -> int:
+        """Reserve an object id for externally scripted objects."""
+        return self._next_id() + 1_000_000
+
+
+class _ShiftedTrajectory:
+    """Re-bases a trajectory so frame ``enter_frame`` maps to its local t=0."""
+
+    def __init__(self, inner, enter_frame: int) -> None:
+        self._inner = inner
+        self._enter = enter_frame
+
+    def _local(self, frame_id: int) -> int:
+        return max(frame_id - self._enter, 0)
+
+    def position(self, frame_id: int):
+        return self._inner.position(self._local(frame_id))
+
+    def velocity(self, frame_id: int):
+        return self._inner.velocity(self._local(frame_id))
+
+    def speed(self, frame_id: int) -> float:
+        return self._inner.speed(self._local(frame_id))
+
+    def heading_deg(self, frame_id: int) -> float:
+        return self._inner.heading_deg(self._local(frame_id))
+
+    def direction_label(self, frame_id: int, window: int = 10) -> str:
+        return self._inner.direction_label(self._local(frame_id), window)
+
+
+def _shifted(trajectory, enter_frame: int):
+    """Wrap ``trajectory`` so it starts when the object enters the scene."""
+    if enter_frame == 0:
+        return trajectory
+    return _ShiftedTrajectory(trajectory, enter_frame)

@@ -1,0 +1,233 @@
+"""Motion models for ground-truth objects.
+
+A :class:`Trajectory` maps a frame index to the object's centre position.
+Dataset presets compose trajectories to script the scenarios the paper's
+queries look for: vehicles keeping straight or turning, speeding cars,
+loitering pedestrians, a car hitting a person and driving away, etc.
+
+All trajectories expose:
+
+* ``position(frame_id)`` — centre ``(x, y)`` in pixels,
+* ``velocity(frame_id)`` — instantaneous velocity in pixels/frame,
+* ``direction_label(frame_id)`` — the coarse label used by the CityFlow-like
+  queries (``"go_straight"``, ``"turn_left"``, ``"turn_right"``,
+  ``"stopped"``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+#: Speed (pixels/frame) below which an object counts as stopped.
+STOPPED_SPEED = 0.5
+
+#: Turn-rate (degrees/frame) above which motion counts as a turn.
+TURN_RATE_DEG = 1.0
+
+
+class Trajectory(ABC):
+    """Abstract motion model evaluated at integer frame indices."""
+
+    @abstractmethod
+    def position(self, frame_id: int) -> Point:
+        """Centre position at ``frame_id`` (pixels)."""
+
+    def velocity(self, frame_id: int) -> Point:
+        """Finite-difference velocity in pixels/frame."""
+        x0, y0 = self.position(max(frame_id - 1, 0))
+        x1, y1 = self.position(frame_id)
+        if frame_id == 0:
+            x1, y1 = self.position(1)
+            x0, y0 = self.position(0)
+        return (x1 - x0, y1 - y0)
+
+    def speed(self, frame_id: int) -> float:
+        vx, vy = self.velocity(frame_id)
+        return float(math.hypot(vx, vy))
+
+    def heading_deg(self, frame_id: int) -> float:
+        """Heading angle in degrees; 0 points along +x, 90 along +y."""
+        vx, vy = self.velocity(frame_id)
+        if abs(vx) < 1e-9 and abs(vy) < 1e-9:
+            return 0.0
+        return math.degrees(math.atan2(vy, vx))
+
+    def direction_label(self, frame_id: int, window: int = 10) -> str:
+        """Coarse direction label over a trailing window of frames."""
+        if self.speed(frame_id) < STOPPED_SPEED:
+            return "stopped"
+        past = max(frame_id - window, 0)
+        if past == frame_id:
+            return "go_straight"
+        h0 = self.heading_deg(past + 1)
+        h1 = self.heading_deg(frame_id)
+        delta = _wrap_angle(h1 - h0)
+        rate = abs(delta) / max(frame_id - past, 1)
+        if rate < TURN_RATE_DEG:
+            return "go_straight"
+        # Screen coordinates: +y is down, so a positive heading change is a
+        # clockwise turn which reads as a right turn on screen.
+        return "turn_right" if delta > 0 else "turn_left"
+
+
+def _wrap_angle(deg: float) -> float:
+    """Wrap an angle difference to (-180, 180]."""
+    while deg <= -180.0:
+        deg += 360.0
+    while deg > 180.0:
+        deg -= 360.0
+    return deg
+
+
+@dataclass
+class LinearTrajectory(Trajectory):
+    """Constant-velocity straight-line motion."""
+
+    start: Point
+    velocity_vec: Point
+
+    def position(self, frame_id: int) -> Point:
+        return (
+            self.start[0] + self.velocity_vec[0] * frame_id,
+            self.start[1] + self.velocity_vec[1] * frame_id,
+        )
+
+    def velocity(self, frame_id: int) -> Point:  # noqa: D102 - exact, no FD noise
+        return self.velocity_vec
+
+
+@dataclass
+class TurnTrajectory(Trajectory):
+    """Straight motion that turns by ``turn_deg`` over ``turn_duration`` frames.
+
+    The turn starts at ``turn_frame``; before it the object moves with the
+    initial velocity, after it with the rotated velocity.  Positive
+    ``turn_deg`` is a clockwise (on-screen right) turn.
+    """
+
+    start: Point
+    velocity_vec: Point
+    turn_frame: int
+    turn_deg: float
+    turn_duration: int = 20
+    _positions: List[Point] = field(init=False, repr=False, default_factory=list)
+
+    def _heading_at(self, frame_id: int) -> float:
+        base = math.atan2(self.velocity_vec[1], self.velocity_vec[0])
+        if frame_id <= self.turn_frame:
+            extra = 0.0
+        elif frame_id >= self.turn_frame + self.turn_duration:
+            extra = math.radians(self.turn_deg)
+        else:
+            frac = (frame_id - self.turn_frame) / self.turn_duration
+            extra = math.radians(self.turn_deg) * frac
+        return base + extra
+
+    def position(self, frame_id: int) -> Point:
+        # Positions are the running integral of a piecewise-rotating velocity;
+        # cache the prefix so repeated queries stay O(1) amortised.
+        if not self._positions:
+            self._positions.append(self.start)
+        speed = math.hypot(*self.velocity_vec)
+        while len(self._positions) <= frame_id:
+            f = len(self._positions) - 1
+            x, y = self._positions[-1]
+            h = self._heading_at(f)
+            self._positions.append((x + speed * math.cos(h), y + speed * math.sin(h)))
+        return self._positions[frame_id]
+
+    def velocity(self, frame_id: int) -> Point:
+        speed = math.hypot(*self.velocity_vec)
+        h = self._heading_at(frame_id)
+        return (speed * math.cos(h), speed * math.sin(h))
+
+
+@dataclass
+class StationaryTrajectory(Trajectory):
+    """An object that stays (approximately) in place, e.g. a parked car."""
+
+    center: Point
+    jitter: float = 0.0
+    seed: int = 0
+
+    def position(self, frame_id: int) -> Point:
+        if self.jitter <= 0:
+            return self.center
+        rng = np.random.default_rng((self.seed * 1_000_003 + frame_id) & 0xFFFFFFFF)
+        dx, dy = rng.normal(0.0, self.jitter, size=2)
+        return (self.center[0] + float(dx), self.center[1] + float(dy))
+
+
+@dataclass
+class LoiterTrajectory(Trajectory):
+    """Slow wandering inside a bounded region (a loitering person).
+
+    The object follows a Lissajous-like path scaled to ``radius`` so it keeps
+    moving (above the stopped threshold when ``radius``/``period`` allow) but
+    never leaves the region — which is what loitering queries look for.
+    """
+
+    center: Point
+    radius: float
+    period_frames: int = 200
+    phase: float = 0.0
+
+    def position(self, frame_id: int) -> Point:
+        t = 2.0 * math.pi * frame_id / max(self.period_frames, 1) + self.phase
+        return (
+            self.center[0] + self.radius * math.sin(t),
+            self.center[1] + self.radius * 0.6 * math.sin(2.0 * t + 0.7),
+        )
+
+
+@dataclass
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear motion through ``(frame_id, point)`` waypoints.
+
+    Used to script coordinated multi-object events (a person walking to a
+    car and getting in, a car swerving into a pedestrian and fleeing).
+    Positions before the first waypoint clamp to it; after the last waypoint
+    the object continues at its final velocity unless ``hold_at_end`` is set.
+    """
+
+    waypoints: Sequence[Tuple[int, Point]]
+    hold_at_end: bool = True
+    _frames: List[int] = field(init=False, repr=False)
+    _points: List[Point] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("WaypointTrajectory needs at least two waypoints")
+        wp = sorted(self.waypoints, key=lambda fp: fp[0])
+        frames = [f for f, _ in wp]
+        if len(set(frames)) != len(frames):
+            raise ValueError("duplicate waypoint frame ids")
+        self._frames = frames
+        self._points = [p for _, p in wp]
+
+    def position(self, frame_id: int) -> Point:
+        frames, points = self._frames, self._points
+        if frame_id <= frames[0]:
+            return points[0]
+        if frame_id >= frames[-1]:
+            if self.hold_at_end:
+                return points[-1]
+            # extrapolate with the last segment's velocity
+            f0, f1 = frames[-2], frames[-1]
+            (x0, y0), (x1, y1) = points[-2], points[-1]
+            vx = (x1 - x0) / (f1 - f0)
+            vy = (y1 - y0) / (f1 - f0)
+            dt = frame_id - f1
+            return (x1 + vx * dt, y1 + vy * dt)
+        idx = int(np.searchsorted(frames, frame_id, side="right")) - 1
+        f0, f1 = frames[idx], frames[idx + 1]
+        (x0, y0), (x1, y1) = points[idx], points[idx + 1]
+        frac = (frame_id - f0) / (f1 - f0)
+        return (x0 + (x1 - x0) * frac, y0 + (y1 - y0) * frac)

@@ -1,0 +1,191 @@
+"""Tests for the frame graph and the lazy runtime state (incl. reuse)."""
+
+import pytest
+
+from repro.backend.graph import FrameGraph, RelationEdge
+from repro.backend.runtime import ExecutionContext, TrackState, VObjState
+from repro.common.clock import SimClock
+from repro.common.errors import ExecutionError
+from repro.frontend.builtin import Ball, Car, Person, PersonBallInteraction
+from repro.models.base import Detection
+
+
+@pytest.fixture
+def ctx(tiny_video, zoo):
+    return ExecutionContext(tiny_video, zoo, clock=SimClock(), reuse_enabled=True)
+
+
+def tracked_detection(ctx, frame, object_id, track_id):
+    inst = frame.instance_by_id(object_id)
+    return Detection(inst.class_name, inst.bbox, 0.95, frame.frame_id, gt_object_id=object_id, track_id=track_id)
+
+
+class TestFrameGraph:
+    def test_add_and_remove_nodes(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        graph = FrameGraph(frame)
+        car_var = Car("c")
+        det = tracked_detection(ctx, frame, 1, 1)
+        node = graph.add_node(car_var, ctx.vobj_state(Car, det, frame))
+        assert graph.nodes(car_var) == [node]
+        graph.remove_node(node.node_id)
+        assert graph.nodes(car_var) == []
+
+    def test_edges(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        graph = FrameGraph(frame)
+        car_var, person_var = Car("c"), Person("p")
+        n1 = graph.add_node(car_var, ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 1), frame))
+        n2 = graph.add_node(person_var, ctx.vobj_state(Person, tracked_detection(ctx, frame, 2, 2), frame))
+        graph.add_edge("spatial", n1, n2, distance=42.0)
+        assert len(graph.edges("spatial")) == 1
+        assert graph.edges("motion") == []
+        graph.remove_node(n1.node_id)
+        assert graph.edges("spatial") == []
+
+    def test_invalid_edge_kind(self):
+        with pytest.raises(ExecutionError):
+            RelationEdge("teleport", 1, 2)
+
+    def test_bindings_product(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        graph = FrameGraph(frame)
+        car_var, person_var = Car("c"), Person("p")
+        for track in (1, 2):
+            graph.add_node(car_var, ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, track), frame))
+        graph.add_node(person_var, ctx.vobj_state(Person, tracked_detection(ctx, frame, 2, 3), frame))
+        bindings = list(graph.bindings([car_var, person_var]))
+        assert len(bindings) == 2
+
+    def test_bindings_empty_when_variable_unmatched(self, ctx, tiny_video):
+        graph = FrameGraph(tiny_video.frame(0))
+        assert list(graph.bindings([Car("c")])) == []
+
+
+class TestVObjState:
+    def test_builtin_properties(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        det = tracked_detection(ctx, frame, 1, 7)
+        state = ctx.vobj_state(Car, det, frame)
+        assert state.get("bbox") == det.bbox
+        assert state.get("track_id") == 7
+        assert state.get("class_name") == "car"
+        assert state.get("frame_rate") == tiny_video.fps
+        assert state.get("center") == det.bbox.center
+
+    def test_model_backed_property_charges_once(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        state = ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 7), frame)
+        before = ctx.clock.elapsed_ms
+        color1 = state.get("color")
+        cost_first = ctx.clock.elapsed_ms - before
+        color2 = state.get("color")
+        assert color1 == color2 == "red"
+        assert ctx.clock.elapsed_ms - before == cost_first  # cached within the frame
+
+    def test_intrinsic_reuse_across_frames(self, ctx, tiny_video):
+        frame0, frame1 = tiny_video.frame(0), tiny_video.frame(1)
+        s0 = ctx.vobj_state(Car, tracked_detection(ctx, frame0, 1, 7), frame0)
+        assert s0.get("color") == "red"
+        cost_after_first = ctx.clock.elapsed_ms
+        s1 = ctx.vobj_state(Car, tracked_detection(ctx, frame1, 1, 7), frame1)
+        assert s1.get("color") == "red"
+        assert ctx.clock.elapsed_ms == cost_after_first  # reused, no new model charge
+        assert ctx.reuse_stats.total_hits == 1
+
+    def test_reuse_disabled_recomputes(self, tiny_video, zoo):
+        ctx = ExecutionContext(tiny_video, zoo, reuse_enabled=False)
+        frame0, frame1 = tiny_video.frame(0), tiny_video.frame(1)
+        ctx.vobj_state(Car, tracked_detection(ctx, frame0, 1, 7), frame0).get("color")
+        first = ctx.clock.elapsed_ms
+        ctx.vobj_state(Car, tracked_detection(ctx, frame1, 1, 7), frame1).get("color")
+        assert ctx.clock.elapsed_ms > first
+
+    def test_python_property(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        state = ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 7), frame)
+        assert state.get("center") == state.get("bbox").center
+
+    def test_stateful_property_uses_history(self, ctx, tiny_video):
+        # Feed two consecutive frames through states sharing the track state.
+        for frame_id in (0, 1):
+            frame = tiny_video.frame(frame_id)
+            state = ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 7), frame)
+            speed = state.get("speed")
+        assert speed == pytest.approx(6.0, abs=1.0)  # the tiny car moves 6 px/frame
+
+    def test_stateful_without_track_raises(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        det = Detection("car", frame.instance_by_id(1).bbox, 0.9, 0, gt_object_id=1, track_id=None)
+        state = VObjState(Car, det, frame, ctx, track_state=None)
+        with pytest.raises(ExecutionError):
+            state.get("speed")
+
+    def test_unknown_property_raises(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        state = ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 7), frame)
+        with pytest.raises(ExecutionError):
+            state.get("altitude")
+
+
+class TestTrackState:
+    def test_record_once_per_frame(self):
+        ts = TrackState(Car, 1)
+        ts.record("center", 0, (0, 0), window=3)
+        ts.record("center", 0, (1, 1), window=3)  # same frame overwrites
+        ts.record("center", 1, (2, 2), window=3)
+        assert ts.history("center") == [(1, 1), (2, 2)]
+
+    def test_window_bounded(self):
+        ts = TrackState(Car, 1)
+        for f in range(10):
+            ts.record("center", f, (f, f), window=3)
+        assert len(ts.history("center")) == 3
+        assert ts.history("center")[-1] == (9, 9)
+
+
+class TestRelationState:
+    def test_builtin_relation_properties(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        car_state = ctx.vobj_state(Car, tracked_detection(ctx, frame, 1, 1), frame)
+        person_state = ctx.vobj_state(Person, tracked_detection(ctx, frame, 2, 2), frame)
+        rel_state = ctx.relation_state(PersonBallInteraction, person_state, car_state, frame)
+        assert rel_state.get("distance") > 0
+        assert 0 <= rel_state.get("iou") <= 1
+        assert rel_state.get("frame_id") == 0
+
+    def test_interaction_property_via_model(self, zoo, suspect_clip):
+        ctx = ExecutionContext(suspect_clip, zoo)
+        event = next(e for e in suspect_clip.events if e.kind == "get_into")
+        frame = suspect_clip.frame(event.start_frame + 1)
+        person_inst = frame.instance_by_id(event.subject_id)
+        car_inst = frame.instance_by_id(event.object_id)
+        p_state = ctx.vobj_state(Person, Detection("person", person_inst.bbox, 0.9, frame.frame_id, gt_object_id=event.subject_id, track_id=1), frame)
+        c_state = ctx.vobj_state(Car, Detection("car", car_inst.bbox, 0.9, frame.frame_id, gt_object_id=event.object_id, track_id=2), frame)
+        from repro.frontend.builtin import GetsInto
+
+        rel_state = ctx.relation_state(GetsInto, p_state, c_state, frame)
+        assert rel_state.get("interaction") in ("get_into", None)
+
+
+class TestExecutionContextSharing:
+    def test_detection_cache_shared(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        a = ctx.detect("yolox", frame)
+        cost = ctx.clock.elapsed_ms
+        b = ctx.detect("yolox", frame)
+        assert a is b
+        assert ctx.clock.elapsed_ms == cost
+
+    def test_release_frame_clears_cache(self, ctx, tiny_video):
+        frame = tiny_video.frame(0)
+        ctx.detect("yolox", frame)
+        ctx.release_frame(0)
+        cost = ctx.clock.elapsed_ms
+        ctx.detect("yolox", frame)
+        assert ctx.clock.elapsed_ms > cost
+
+    def test_track_state_identity(self, ctx):
+        assert ctx.track_state(Car, 5) is ctx.track_state(Car, 5)
+        assert ctx.track_state(Car, 5) is not ctx.track_state(Person, 5)
+        assert ctx.track_state(Car, None) is None

@@ -1,0 +1,70 @@
+"""Tests for the CVIP-like pipeline and the MLLM baseline workflow."""
+
+import pytest
+
+from repro.baselines.handcrafted import CVIPPipeline
+from repro.baselines.mllm_baseline import MLLMBaseline, split_into_clips
+from repro.models.mllm import VIDEOCHAT_7B, VideoChatSim
+from repro.videosim.datasets import CityFlowQuery, cityflow_clip, vcoco_images
+
+
+@pytest.fixture(scope="module")
+def cityflow_small():
+    return cityflow_clip(0, seed=2, duration_s=15, tracks_per_clip=4)
+
+
+class TestCVIPPipeline:
+    def test_runtime_is_query_independent(self, zoo, cityflow_small):
+        cvip = CVIPPipeline(zoo)
+        q_green = CityFlowQuery("Q1", "", "green", "sedan", "go_straight")
+        q_black = CityFlowQuery("Q4", "", "black", "sedan", "go_straight")
+        r_green = cvip.run(cityflow_small, q_green)
+        r_black = cvip.run(cityflow_small, q_black)
+        # CVIP computes everything regardless of the query: costs are ~equal.
+        assert r_green.total_ms == pytest.approx(r_black.total_ms, rel=0.01)
+
+    def test_per_frame_costs_recorded(self, zoo, cityflow_small):
+        result = CVIPPipeline(zoo).run(cityflow_small, CityFlowQuery("Q1", "", "red", "sedan", "go_straight"))
+        assert len(result.per_frame_ms) == cityflow_small.num_frames
+        assert result.total_ms == pytest.approx(sum(result.per_frame_ms), rel=0.05)
+
+    def test_matches_tracks_with_right_attributes(self, zoo, cityflow_small):
+        # Pick a query matching an actual track in the clip.
+        tracks = [o for o in cityflow_small.objects if o.class_name in ("car", "bus", "truck")]
+        target = tracks[0]
+        query = CityFlowQuery(
+            "QX", "", target.attributes["color"], target.attributes["vehicle_type"], target.attributes["direction"]
+        )
+        result = CVIPPipeline(zoo).run(cityflow_small, query)
+        assert result.aggregates["matched_tracks"] >= 1
+
+    def test_cost_breakdown_includes_all_models(self, zoo, cityflow_small):
+        result = CVIPPipeline(zoo).run(cityflow_small, CityFlowQuery("Q1", "", "red", "sedan", "go_straight"))
+        for account in ("color_detect", "type_detect", "reid_feature", "direction_classifier"):
+            assert account in result.cost_breakdown
+
+
+class TestMLLMBaseline:
+    def test_split_into_clips_covers_video(self, auburn_short):
+        clips = split_into_clips(auburn_short, clip_seconds=1.0)
+        assert sum(c.num_frames for c in clips) == auburn_short.num_frames
+        # Clip frames map back onto the parent's frames.
+        assert clips[1].frame(0).frame_id == clips[0].num_frames
+
+    def test_boolean_over_video(self, auburn_short):
+        baseline = MLLMBaseline(VideoChatSim(VIDEOCHAT_7B, seed=0))
+        answers = baseline.boolean_over_video(auburn_short, "Q3", lambda clip: True)
+        assert len(answers.answers) == len(split_into_clips(auburn_short))
+        assert answers.ms_per_frame > 0
+        assert answers.precompute_ms_per_frame > 0
+
+    def test_count_over_video_records_truths(self, auburn_short):
+        baseline = MLLMBaseline(VideoChatSim(VIDEOCHAT_7B, seed=0))
+        answers = baseline.count_over_video(auburn_short, "Q4", lambda clip: 2.0)
+        assert all(t == 2.0 for t in answers.truths)
+
+    def test_boolean_over_images(self):
+        images = vcoco_images(num_images=20, seed=1)
+        baseline = MLLMBaseline(VideoChatSim(VIDEOCHAT_7B, seed=0))
+        answers = baseline.boolean_over_images(images, "Q6", lambda img: False)
+        assert len(answers.answers) == 20

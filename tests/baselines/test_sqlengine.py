@@ -1,0 +1,182 @@
+"""Tests for the mini SQL engine: parser, execution, and EVA workloads."""
+
+import pytest
+
+from repro.baselines.sqlengine.engine import SQLEngine
+from repro.baselines.sqlengine.parser import (
+    CreateFunction,
+    CreateTableAs,
+    DropTable,
+    LoadVideo,
+    Select,
+    parse_statement,
+    parse_statements,
+)
+from repro.baselines.sqlengine.relational import ColumnRef, FuncCall, SQLComparison, SQLLiteral, Table
+from repro.baselines.sqlengine.workloads import EVA_QUERIES, run_eva_query
+from repro.common.clock import SimClock
+from repro.common.errors import SQLEngineError
+
+
+class TestParser:
+    def test_load_video(self):
+        stmt = parse_statement("LOAD VIDEO 'video.mp4' INTO MyVideo")
+        assert isinstance(stmt, LoadVideo)
+        assert stmt.path == "video.mp4" and stmt.table == "MyVideo"
+
+    def test_create_function(self):
+        stmt = parse_statement("CREATE FUNCTION Color IMPL './color.py'")
+        assert isinstance(stmt, CreateFunction) and stmt.name == "Color"
+
+    def test_select_with_lateral(self):
+        stmt = parse_statement(
+            "SELECT id, Color(Crop(data, bbox)), T.iid FROM MyVideo "
+            "JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker)) AS T(iid, label, bbox, score)"
+        )
+        assert isinstance(stmt, Select)
+        assert stmt.lateral is not None
+        assert stmt.lateral.detector == "Yolo"
+        assert stmt.lateral.columns == ["iid", "label", "bbox", "score"]
+        assert isinstance(stmt.items[1], FuncCall)
+        assert isinstance(stmt.items[1].args[0], FuncCall)  # nested Crop(...)
+
+    def test_select_with_join_and_where(self):
+        stmt = parse_statement(
+            "SELECT a.id FROM A JOIN B ON a.id = b.added_id AND a.iid = b.cur_iid "
+            "WHERE a.label = 'car' AND Velocity(a.bbox, b.last_bbox) > 1.5"
+        )
+        assert stmt.joins[0].table == "B"
+        assert stmt.joins[0].on == [("a.id", "b.added_id"), ("a.iid", "b.cur_iid")]
+        assert len(stmt.where) == 2
+        assert isinstance(stmt.where[1], SQLComparison)
+        assert isinstance(stmt.where[1].right, SQLLiteral) and stmt.where[1].right.value == 1.5
+
+    def test_create_table_as(self):
+        stmt = parse_statement("CREATE TABLE T AS SELECT id FROM MyVideo")
+        assert isinstance(stmt, CreateTableAs) and stmt.name == "T"
+
+    def test_drop_statements(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS T")
+        assert isinstance(stmt, DropTable) and stmt.if_exists
+        assert parse_statement("DROP FUNCTION IF EXISTS Color").if_exists
+
+    def test_script_splitting(self):
+        script = "LOAD VIDEO 'v' INTO A; SELECT id FROM A;"
+        assert len(parse_statements(script)) == 2
+
+    def test_invalid_statement(self):
+        with pytest.raises(SQLEngineError):
+            parse_statement("UPSERT INTO T VALUES (1)")
+        with pytest.raises(SQLEngineError):
+            parse_statement("SELECT FROM")
+
+    def test_appendix_scripts_parse(self):
+        for name, sql in EVA_QUERIES.items():
+            statements = parse_statements(sql.format(speed_threshold=10.0))
+            assert statements, name
+
+
+class TestEngineExecution:
+    def _engine(self, zoo, video):
+        engine = SQLEngine(zoo, clock=SimClock())
+        engine.register_video("video.mp4", video)
+        return engine
+
+    def test_load_requires_registered_video(self, zoo):
+        engine = SQLEngine(zoo)
+        with pytest.raises(SQLEngineError):
+            engine.execute("LOAD VIDEO 'missing.mp4' INTO MyVideo;")
+
+    def test_unknown_function_rejected(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        engine.execute("LOAD VIDEO 'video.mp4' INTO MyVideo;")
+        with pytest.raises(SQLEngineError):
+            engine.execute("SELECT Teleport(id) FROM MyVideo;")
+
+    def test_create_function_binds_known_impl(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        engine.execute("CREATE FUNCTION Color IMPL './color.py';")
+        assert "color" in engine.functions
+        with pytest.raises(SQLEngineError):
+            engine.execute("CREATE FUNCTION Quantum IMPL './q.py';")
+
+    def test_extract_object_produces_rows(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        rows = engine.execute(
+            "LOAD VIDEO 'video.mp4' INTO MyVideo;"
+            "SELECT id, T.label, T.iid FROM MyVideo "
+            "JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker)) AS T(iid, label, bbox, score);"
+        )
+        assert rows
+        assert {r["label"] for r in rows} <= {"car", "person", "ball", "bus", "truck", "bicycle", "bag"}
+        assert all(isinstance(r["iid"], int) for r in rows)
+        assert all(not k.startswith("_") for r in rows for k in r)
+
+    def test_where_filters_rows(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        rows = engine.execute(
+            "LOAD VIDEO 'video.mp4' INTO MyVideo;"
+            "CREATE TABLE T AS SELECT id, T.label, T.score FROM MyVideo "
+            "JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker)) AS T(iid, label, bbox, score);"
+            "SELECT id FROM T WHERE label = 'car';"
+        )
+        assert rows
+        baseline = engine.execute("SELECT id FROM T;")
+        assert len(rows) < len(baseline)
+
+    def test_udf_overhead_charged_per_row(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        engine.execute(
+            "LOAD VIDEO 'video.mp4' INTO MyVideo;"
+            "CREATE FUNCTION Color IMPL './color.py';"
+            "CREATE TABLE T AS SELECT id, Color(Crop(data, bbox)), T.label FROM MyVideo "
+            "JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker)) AS T(iid, label, bbox, score);"
+        )
+        breakdown = engine.clock.breakdown()
+        assert breakdown.get("sql:udf_overhead:Color", 0) > 0
+        assert breakdown.get("sql:udf_overhead:Crop", 0) > 0
+        assert breakdown.get("color_detect", 0) > 0
+
+    def test_drop_table(self, zoo, tiny_video):
+        engine = self._engine(zoo, tiny_video)
+        engine.execute("LOAD VIDEO 'video.mp4' INTO MyVideo; CREATE TABLE T AS SELECT id FROM MyVideo;")
+        engine.execute("DROP TABLE T;")
+        with pytest.raises(SQLEngineError):
+            engine.execute("DROP TABLE T;")
+        engine.execute("DROP TABLE IF EXISTS T;")  # no error with IF EXISTS
+
+    def test_table_visible_columns(self):
+        table = Table("t", ["a", "_hidden"], [{"a": 1, "_hidden": 2}])
+        assert table.visible_columns() == ["a"]
+        assert table.num_rows == 1
+
+    def test_column_resolution_error(self, zoo):
+        with pytest.raises(SQLEngineError):
+            ColumnRef("nope").evaluate({"a": 1}, None)
+
+
+class TestEvaWorkloads:
+    def test_red_car_query_matches_ground_truth(self, zoo, tiny_video):
+        result = run_eva_query("red_car", tiny_video, zoo)
+        # The tiny video's car is red, so most frames where it is visible match.
+        assert len(result.matched_frames) > 10
+        assert result.total_ms > 0
+
+    def test_speeding_query_on_slow_car_matches_little(self, zoo, tiny_video):
+        result = run_eva_query("speeding_car", tiny_video, zoo, speed_threshold=10.0)
+        assert len(result.matched_frames) <= 3  # the tiny car moves ~6 px/frame
+
+    def test_red_speeding_more_expensive_than_parts(self, zoo, tiny_video):
+        red = run_eva_query("red_car", tiny_video, zoo)
+        speeding = run_eva_query("speeding_car", tiny_video, zoo)
+        both = run_eva_query("red_speeding_car", tiny_video, zoo)
+        assert both.total_ms > max(red.total_ms, speeding.total_ms)
+
+    def test_refined_variant_cheaper_than_unrefined(self, zoo, banff_clip):
+        unrefined = run_eva_query("red_speeding_car", banff_clip, zoo)
+        refined = run_eva_query("red_speeding_car_refined", banff_clip, zoo)
+        assert refined.total_ms < unrefined.total_ms
+
+    def test_unknown_query_name(self, zoo, tiny_video):
+        with pytest.raises(KeyError):
+            run_eva_query("blue_moon", tiny_video, zoo)

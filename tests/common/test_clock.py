@@ -1,0 +1,85 @@
+"""Tests for the simulated clock and cost profiles."""
+
+import pytest
+
+from repro.common.clock import CostProfile, SimClock
+
+
+class TestCostProfile:
+    def test_cost_with_items(self):
+        profile = CostProfile(base_ms=10.0, per_item_ms=2.0)
+        assert profile.cost(0) == 10.0
+        assert profile.cost(5) == 20.0
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            CostProfile(1.0).cost(-1)
+
+    def test_scaled(self):
+        scaled = CostProfile(10.0, 2.0).scaled(0.5)
+        assert scaled.base_ms == 5.0
+        assert scaled.per_item_ms == 1.0
+
+
+class TestSimClock:
+    def test_charge_accumulates(self):
+        clock = SimClock()
+        clock.charge("detector", 10.0)
+        clock.charge("detector", 5.0)
+        clock.charge("tracker", 1.0)
+        assert clock.elapsed_ms == 16.0
+        assert clock.by_account["detector"] == 15.0
+        assert clock.calls["detector"] == 2
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("x", -1.0)
+
+    def test_charge_profile(self):
+        clock = SimClock()
+        charged = clock.charge_profile("color", CostProfile(5.0, 1.0), n_items=3)
+        assert charged == 8.0
+        assert clock.elapsed_ms == 8.0
+
+    def test_snapshot_and_since(self):
+        clock = SimClock()
+        clock.charge("a", 5.0)
+        snap = clock.snapshot()
+        clock.charge("a", 7.0)
+        assert clock.since(snap) == 7.0
+
+    def test_breakdown_sorted_descending(self):
+        clock = SimClock()
+        clock.charge("small", 1.0)
+        clock.charge("big", 100.0)
+        keys = list(clock.breakdown())
+        assert keys[0] == "big"
+
+    def test_region_attribution(self):
+        clock = SimClock()
+        with clock.region("phase1"):
+            clock.charge("model", 10.0)
+        assert clock.by_account["region:phase1"] == 10.0
+        assert clock.elapsed_ms == 10.0  # regions never double-charge
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge("x", 3.0)
+        clock.reset()
+        assert clock.elapsed_ms == 0.0
+        assert not clock.by_account
+
+    def test_merge(self):
+        a, b = SimClock(), SimClock()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        b.charge("y", 3.0)
+        a.merge(b)
+        assert a.elapsed_ms == 6.0
+        assert a.by_account["x"] == 3.0
+        assert a.by_account["y"] == 3.0
+
+    def test_elapsed_seconds(self):
+        clock = SimClock()
+        clock.charge("x", 1500.0)
+        assert clock.elapsed_seconds == pytest.approx(1.5)

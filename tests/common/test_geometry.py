@@ -1,0 +1,136 @@
+"""Unit and property-based tests for bounding-box geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.geometry import BBox, center_distance, iou, iou_matrix, union_bbox
+
+
+def boxes(max_coord=1000.0):
+    coords = st.floats(min_value=0.0, max_value=max_coord, allow_nan=False)
+    sizes = st.floats(min_value=1.0, max_value=200.0, allow_nan=False)
+    return st.builds(lambda x, y, w, h: BBox(x, y, x + w, y + h), coords, coords, sizes, sizes)
+
+
+class TestBBoxBasics:
+    def test_dimensions(self):
+        box = BBox(10, 20, 40, 80)
+        assert box.width == 30
+        assert box.height == 60
+        assert box.area == 1800
+        assert box.center == (25, 50)
+        assert box.bottom_center == (25, 80)
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(10, 10, 5, 20)
+        with pytest.raises(ValueError):
+            BBox(10, 10, 20, 5)
+
+    def test_from_center_roundtrip(self):
+        box = BBox.from_center(100, 50, 40, 20)
+        assert box.center == (100, 50)
+        assert box.width == 40 and box.height == 20
+
+    def test_from_xywh(self):
+        box = BBox.from_xywh(10, 20, 30, 40)
+        assert box.as_tuple() == (10, 20, 40, 60)
+
+    def test_as_array(self):
+        arr = BBox(1, 2, 3, 4).as_array()
+        assert arr.dtype == float
+        assert list(arr) == [1, 2, 3, 4]
+
+    def test_translated(self):
+        assert BBox(0, 0, 10, 10).translated(5, -3).as_tuple() == (5, -3, 15, 7)
+
+    def test_scaled_preserves_center(self):
+        box = BBox(0, 0, 10, 20).scaled(2.0)
+        assert box.center == (5, 10)
+        assert box.width == 20 and box.height == 40
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BBox(0, 0, 10, 10).scaled(0)
+
+    def test_clipped(self):
+        box = BBox(-10, -10, 50, 50).clipped(40, 30)
+        assert box.as_tuple() == (0, 0, 40, 30)
+
+    def test_contains_point_and_box(self):
+        outer, inner = BBox(0, 0, 100, 100), BBox(10, 10, 20, 20)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains_point(50, 50)
+        assert not outer.contains_point(150, 50)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = BBox(0, 0, 10, 10)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou(BBox(0, 0, 10, 10), BBox(20, 20, 30, 30)) == 0.0
+
+    def test_half_overlap(self):
+        a, b = BBox(0, 0, 10, 10), BBox(5, 0, 15, 10)
+        assert iou(a, b) == pytest.approx(50 / 150)
+
+    def test_edge_distance_zero_when_overlapping(self):
+        assert BBox(0, 0, 10, 10).edge_distance(BBox(5, 5, 15, 15)) == 0.0
+
+    def test_edge_distance_positive_when_apart(self):
+        assert BBox(0, 0, 10, 10).edge_distance(BBox(13, 0, 20, 10)) == pytest.approx(3.0)
+
+    def test_center_distance(self):
+        assert center_distance(BBox(0, 0, 10, 10), BBox(30, 40, 40, 50)) == pytest.approx(50.0)
+
+    def test_iou_matrix_matches_pairwise(self):
+        a = [BBox(0, 0, 10, 10), BBox(5, 5, 20, 20)]
+        b = [BBox(0, 0, 10, 10), BBox(100, 100, 110, 110), BBox(8, 8, 18, 18)]
+        mat = iou_matrix(a, b)
+        assert mat.shape == (2, 3)
+        for i, box_a in enumerate(a):
+            for j, box_b in enumerate(b):
+                assert mat[i, j] == pytest.approx(box_a.iou(box_b))
+
+    def test_iou_matrix_empty(self):
+        assert iou_matrix([], [BBox(0, 0, 1, 1)]).shape == (0, 1)
+
+
+class TestUnion:
+    def test_union_bbox(self):
+        union = union_bbox([BBox(0, 0, 10, 10), BBox(5, -5, 20, 8)])
+        assert union.as_tuple() == (0, -5, 20, 10)
+
+    def test_union_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_bbox([])
+
+
+class TestGeometryProperties:
+    @given(boxes(), boxes())
+    def test_iou_symmetric_and_bounded(self, a, b):
+        v = iou(a, b)
+        assert 0.0 <= v <= 1.0 + 1e-9
+        assert v == pytest.approx(iou(b, a))
+
+    @given(boxes())
+    def test_self_iou_is_one(self, box):
+        assert iou(box, box) == pytest.approx(1.0)
+
+    @given(boxes(), st.floats(min_value=-100, max_value=100), st.floats(min_value=-100, max_value=100))
+    def test_translation_preserves_area(self, box, dx, dy):
+        assert box.translated(dx, dy).area == pytest.approx(box.area)
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        union = union_bbox([a, b])
+        assert union.contains(a) and union.contains(b)
+
+    @given(boxes(), boxes())
+    def test_intersection_not_larger_than_either(self, a, b):
+        inter = a.intersection(b)
+        assert inter <= min(a.area, b.area) + 1e-6

@@ -1,0 +1,51 @@
+"""Tests for deterministic randomness helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.rng import derive_rng, stable_choice, stable_hash, stable_uniform
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+    def test_is_64_bit(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+
+class TestDeriveRng:
+    def test_same_stream_same_sequence(self):
+        a = derive_rng(7, "model", 3).random(5)
+        b = derive_rng(7, "model", 3).random(5)
+        assert list(a) == list(b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng(7, "model", 3).random()
+        b = derive_rng(7, "model", 4).random()
+        assert a != b
+
+    def test_different_seed_differs(self):
+        assert derive_rng(1, "x").random() != derive_rng(2, "x").random()
+
+
+class TestStableUniform:
+    @given(st.text(), st.integers())
+    def test_in_unit_interval(self, a, b):
+        value = stable_uniform(a, b)
+        assert 0.0 <= value < 1.0
+
+    def test_deterministic(self):
+        assert stable_uniform("k", 5) == stable_uniform("k", 5)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=5), st.integers())
+    def test_stable_choice_picks_member(self, options, key):
+        assert stable_choice(options, key) in options
+
+    def test_stable_choice_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            stable_choice([], 1)

@@ -1,0 +1,197 @@
+"""Tests for Query definitions, aggregates, and higher-order composition rules."""
+
+import pytest
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.builtin import Ball, Car, Person, PersonBallInteraction
+from repro.frontend.expr import TRUE
+from repro.frontend.higher_order import (
+    CollisionQuery,
+    DurationQuery,
+    SequentialQuery,
+    SpatialQuery,
+    SpeedQuery,
+    TemporalQuery,
+)
+from repro.frontend.query import Aggregate, Query, average_per_frame, collect, count_distinct, max_per_frame
+
+
+class RedCarQuery(Query):
+    def __init__(self):
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class TurnCountQuery(Query):
+    """Figure 7: count vehicles turning right over the whole video."""
+
+    def __init__(self):
+        self.car = Car("car")
+
+    def video_constraint(self):
+        return (self.car.score > 0.5) & (self.car.direction == "turn_right")
+
+    def video_output(self):
+        return (count_distinct(self.car.track_id, label="num_turning"),)
+
+
+class TestQueryIntrospection:
+    def test_vobj_variables_discovered(self):
+        query = RedCarQuery()
+        assert query.vobj_variables() == [query.car]
+
+    def test_required_properties(self):
+        query = RedCarQuery()
+        props = query.required_properties()[query.car]
+        assert {"score", "color", "track_id", "bbox"} <= props
+
+    def test_frame_outputs_normalised(self):
+        assert len(RedCarQuery().frame_outputs()) == 2
+
+    def test_video_level_detection(self):
+        assert not RedCarQuery().is_video_level()
+        assert TurnCountQuery().is_video_level()
+
+    def test_validation_passes(self):
+        RedCarQuery().validate()
+        TurnCountQuery().validate()
+
+    def test_validation_requires_vobj(self):
+        class Empty(Query):
+            def frame_constraint(self):
+                return TRUE
+
+        with pytest.raises(QueryDefinitionError):
+            Empty().validate()
+
+    def test_validation_requires_constraint_or_output(self):
+        class NoConstraint(Query):
+            def __init__(self):
+                self.car = Car("c")
+
+        with pytest.raises(QueryDefinitionError):
+            NoConstraint().validate()
+
+    def test_validation_rejects_unknown_property(self):
+        class Bad(Query):
+            def __init__(self):
+                self.car = Car("c")
+
+            def frame_constraint(self):
+                from repro.frontend.expr import PropertyRef
+
+                return PropertyRef(self.car, "altitude") == 3
+
+        with pytest.raises(QueryDefinitionError):
+            Bad().validate()
+
+    def test_constraint_must_be_predicate(self):
+        class Wrong(Query):
+            def __init__(self):
+                self.car = Car("c")
+
+            def frame_constraint(self):
+                return True
+
+        with pytest.raises(QueryDefinitionError):
+            Wrong().frame_predicate()
+
+    def test_query_inheritance_strengthens_constraint(self):
+        class RedSedanQuery(RedCarQuery):
+            def frame_constraint(self):
+                return super().frame_constraint() & (self.car.vehicle_type == "sedan")
+
+        assert len(RedSedanQuery().frame_predicate().conjuncts()) == 3
+
+    def test_relation_variables_discovered(self):
+        class HitQuery(Query):
+            def __init__(self):
+                self.person = Person("p")
+                self.ball = Ball("b")
+                self.rel = PersonBallInteraction(self.person, self.ball)
+
+            def frame_constraint(self):
+                return self.rel.interaction == "hit"
+
+        query = HitQuery()
+        assert query.relation_variables() == [query.rel]
+        assert set(query.vobj_variables()) == {query.person, query.ball}
+
+
+class TestAggregates:
+    def test_aggregate_kinds(self):
+        car = Car("c")
+        assert count_distinct(car.track_id).kind == "count_distinct"
+        assert average_per_frame(car.track_id).kind == "average_per_frame"
+        assert max_per_frame(car.track_id).kind == "max_per_frame"
+        assert collect(car.license_plate).kind == "collect"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(QueryDefinitionError):
+            Aggregate("median", Car("c").track_id)
+
+
+class TestHigherOrderComposition:
+    def test_spatial_query_merges_constraints(self):
+        collision = CollisionQuery(Car("car"), Person("person"))
+        pred = collision.frame_predicate()
+        assert len(pred.conjuncts()) >= 3
+        assert len(collision.vobj_variables()) == 2
+
+    def test_spatial_accepts_vobjs_or_queries(self):
+        CollisionQuery(RedCarQuery(), Person("p"))
+        CollisionQuery(Car("c"), Person("p"))
+
+    def test_rule1_spatial_rejects_higher_order(self):
+        inner = CollisionQuery(Car("c"), Person("p"))
+        with pytest.raises(QueryDefinitionError):
+            SpatialQuery(inner, Person("p2"))
+
+    def test_rule2_duration_accepts_basic_and_spatial(self):
+        DurationQuery(RedCarQuery(), duration_s=5)
+        DurationQuery(CollisionQuery(Car("c"), Person("p")), duration_frames=10)
+        with pytest.raises(QueryDefinitionError):
+            DurationQuery(DurationQuery(RedCarQuery(), duration_s=1), duration_s=1)
+
+    def test_duration_requires_a_duration(self):
+        with pytest.raises(QueryDefinitionError):
+            DurationQuery(RedCarQuery())
+
+    def test_duration_frames_conversion(self):
+        query = DurationQuery(RedCarQuery(), duration_s=2.0)
+        assert query.required_duration_frames(fps=15) == 30
+        explicit = DurationQuery(RedCarQuery(), duration_frames=7)
+        assert explicit.required_duration_frames(fps=15) == 7
+
+    def test_rule3_temporal_accepts_everything(self):
+        basic = RedCarQuery()
+        duration = DurationQuery(RedCarQuery(), duration_s=1)
+        spatial = CollisionQuery(Car("c"), Person("p"))
+        temporal = TemporalQuery(basic, spatial, max_gap_s=5)
+        TemporalQuery(temporal, duration, max_gap_s=5)  # nesting a TemporalQuery is allowed
+
+    def test_temporal_gap_validation(self):
+        with pytest.raises(QueryDefinitionError):
+            TemporalQuery(RedCarQuery(), RedCarQuery(), max_gap_s=1, min_gap_s=2)
+
+    def test_sequential_is_temporal(self):
+        assert issubclass(SequentialQuery, TemporalQuery)
+
+    def test_speed_query_requires_speed_property(self):
+        SpeedQuery(Car("c"), min_speed=10)
+        with pytest.raises(QueryDefinitionError):
+            SpeedQuery(Ball("b"), min_speed=10)
+
+    def test_hit_and_run_composition(self):
+        """The Figure 8 composition builds without error."""
+        car, person = Car("car"), Person("person")
+        car_hit_person = CollisionQuery(car, person)
+        car_run_away = SpeedQuery(Car("car2"), min_speed=12)
+        hit_and_run = SequentialQuery(car_hit_person, car_run_away, max_gap_s=20)
+        assert hit_and_run.is_video_level()
+        assert len(hit_and_run.vobj_variables()) == 3

@@ -1,0 +1,160 @@
+"""Tests for VObj/Relation declarations, inheritance, and validation."""
+
+import pytest
+
+from repro.common.errors import QueryDefinitionError
+from repro.frontend.builtin import Ball, Car, CloseTo, Person, PersonBallInteraction, RedCar, Vehicle
+from repro.frontend.expr import PropertyRef
+from repro.frontend.properties import FilterSpec, PropertySpec, frame_filter, stateful, stateless, vobj_filter
+from repro.frontend.relation import Relation
+from repro.frontend.vobj import Scene, VObj
+
+
+class TestPropertyDecorators:
+    def test_stateless_spec(self):
+        spec = stateless(model="color_detect", intrinsic=True)(lambda self, image: None)
+        assert spec.kind == "stateless" and spec.intrinsic and spec.model == "color_detect"
+        assert spec.func is None  # model-backed bodies are declaration-only
+
+    def test_stateful_spec(self):
+        spec = stateful(inputs=("center",), history_len=5)(lambda self, centers: centers)
+        assert spec.kind == "stateful" and spec.history_len == 5
+        assert spec.func is not None
+
+    def test_stateful_cannot_be_intrinsic(self):
+        with pytest.raises(QueryDefinitionError):
+            PropertySpec(name="x", kind="stateful", func=lambda s, v: v, intrinsic=True)
+
+    def test_history_len_validated(self):
+        with pytest.raises(QueryDefinitionError):
+            PropertySpec(name="x", kind="stateful", func=lambda s, v: v, history_len=0)
+
+    def test_property_needs_model_or_body(self):
+        with pytest.raises(QueryDefinitionError):
+            PropertySpec(name="x", kind="stateless")
+
+    def test_filter_decorators(self):
+        spec = vobj_filter(model="no_red_on_road")(lambda self, frame: None)
+        assert isinstance(spec, FilterSpec) and spec.kind == "binary_classifier"
+        spec2 = frame_filter(history=3)(lambda self, frames: True)
+        assert spec2.kind == "frame_filter" and spec2.history == 3 and spec2.func is not None
+
+
+class TestVObjDeclaration:
+    def test_builtin_vehicle_properties(self):
+        props = Vehicle.declared_properties()
+        assert {"center", "color", "vehicle_type", "license_plate", "direction", "speed"} <= set(props)
+        assert props["color"].intrinsic
+        assert props["direction"].kind == "stateful"
+
+    def test_inheritance_of_properties(self):
+        assert set(Car.declared_properties()) == set(Vehicle.declared_properties())
+        assert Car.class_names == ("car",)
+
+    def test_redcar_registers_optimizations(self):
+        assert RedCar.specialized_models == ("red_car_detector",)
+        filters = RedCar.registered_filters()
+        assert any(f.model == "no_red_on_road" for f in filters)
+        # Inherited properties still present.
+        assert "color" in RedCar.declared_properties()
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(QueryDefinitionError):
+
+            class Broken(VObj):
+                class_names = ("car",)
+
+                @stateless(inputs=("nonexistent",))
+                def prop(self, nonexistent):
+                    return nonexistent
+
+    def test_dependency_cycle_rejected(self):
+        with pytest.raises(QueryDefinitionError):
+
+            class Cyclic(VObj):
+                class_names = ("car",)
+
+                @stateless(inputs=("b",))
+                def a(self, b):
+                    return b
+
+                @stateless(inputs=("a",))
+                def b(self, a):
+                    return a
+
+    def test_dependency_order(self):
+        order = Vehicle.dependency_order(["direction"])
+        assert order.index("center") < order.index("direction")
+
+    def test_requires_tracking(self):
+        assert Vehicle.requires_tracking(["direction"])
+        assert not Vehicle.requires_tracking(["color"])
+
+    def test_intrinsic_properties(self):
+        assert {"color", "vehicle_type", "license_plate"} <= Vehicle.intrinsic_properties()
+
+    def test_super_vobjs(self):
+        assert Vehicle in RedCar.super_vobjs()
+        assert Car in RedCar.super_vobjs()
+
+    def test_scene_vobj(self):
+        assert issubclass(Scene, VObj)
+        assert "time_of_day" in Scene.available_properties()
+
+
+class TestVObjInstances:
+    def test_attribute_access_builds_refs(self):
+        car = Car("my_car")
+        ref = car.color
+        assert isinstance(ref, PropertyRef)
+        assert ref.variable is car and ref.property_name == "color"
+        assert isinstance(car.bbox, PropertyRef)
+
+    def test_unknown_property_raises(self):
+        with pytest.raises(AttributeError):
+            Car("c").wingspan
+
+    def test_var_name_default(self):
+        assert Car().var_name.startswith("car")
+        assert Car("explicit").var_name == "explicit"
+
+    def test_instances_are_hashable(self):
+        a, b = Car("a"), Car("b")
+        assert len({a, b}) == 2
+
+
+class TestRelations:
+    def test_close_to_relation(self):
+        rel = CloseTo(Car("c"), Person("p"))
+        assert rel.subject.var_name == "c"
+        assert isinstance(rel.distance, PropertyRef)
+        assert isinstance(rel.is_close, PropertyRef)
+
+    def test_relation_requires_vobj_instances(self):
+        with pytest.raises(QueryDefinitionError):
+            CloseTo(Car, Person("p"))
+
+    def test_relation_unknown_property(self):
+        rel = CloseTo(Car("c"), Person("p"))
+        with pytest.raises(AttributeError):
+            rel.nonsense
+
+    def test_interaction_relation_model(self):
+        rel = PersonBallInteraction(Person("p"), Ball("b"))
+        assert type(rel).model == "upt"
+        assert "interaction" in type(rel).declared_properties()
+        assert "hit" in type(rel).interaction_kinds
+
+    def test_relation_endpoint_type_constraint(self):
+        class PersonOnly(Relation):
+            subject_types = (Person,)
+
+        with pytest.raises(QueryDefinitionError):
+            PersonOnly(Car("c"), Ball("b"))
+        PersonOnly(Person("p"), Ball("b"))  # accepted
+
+    def test_relation_inheritance(self):
+        class TightCloseTo(CloseTo):
+            threshold = 10.0
+
+        assert "is_close" in TightCloseTo.declared_properties()

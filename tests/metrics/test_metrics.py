@@ -1,0 +1,76 @@
+"""Tests for accuracy metrics and runtime reporting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.accuracy import PrecisionRecall, f1_score, f1_score_sets, precision_recall_f1
+from repro.metrics.runtime import RuntimeReport, speedup
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_predictions(self):
+        assert f1_score([True, False, True], [True, False, True]) == 1.0
+
+    def test_all_wrong(self):
+        assert f1_score([True, True], [False, False]) == 0.0
+
+    def test_counts(self):
+        stats = precision_recall_f1([True, True, False, False], [True, False, True, False])
+        assert (stats.true_positives, stats.false_positives, stats.false_negatives) == (1, 1, 1)
+        assert stats.precision == 0.5 and stats.recall == 0.5 and stats.f1 == 0.5
+
+    def test_none_predictions_dropped(self):
+        stats = precision_recall_f1([None, True], [True, True])
+        assert stats.true_positives == 1 and stats.false_negatives == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([True], [True, False])
+
+    def test_empty_counts_zero(self):
+        assert PrecisionRecall(0, 0, 0).f1 == 0.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    def test_f1_bounded(self, labels):
+        predictions = [not l for l in labels[: len(labels) // 2]] + labels[len(labels) // 2 :]
+        assert 0.0 <= f1_score(predictions, labels) <= 1.0
+
+
+class TestF1Sets:
+    def test_identical_sets(self):
+        assert f1_score_sets({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert f1_score_sets({1, 2}, {3, 4}) == 0.0
+
+    def test_both_empty_is_perfect(self):
+        assert f1_score_sets(set(), set()) == 1.0
+
+    def test_partial_overlap(self):
+        assert 0 < f1_score_sets({1, 2, 3}, {2, 3, 4}) < 1
+
+    @given(st.sets(st.integers(0, 100)), st.sets(st.integers(0, 100)))
+    def test_symmetry(self, a, b):
+        assert f1_score_sets(a, b) == pytest.approx(f1_score_sets(b, a))
+
+
+class TestRuntimeReport:
+    def test_speedup(self):
+        assert speedup(100, 10) == 10.0
+        assert speedup(100, 0) == float("inf")
+
+    def test_report_rendering(self):
+        report = RuntimeReport("Demo", unit="ms")
+        report.add_row(system="VQPy", runtime=12.345)
+        report.add_row(system="EVA", runtime=100.0, note="slower")
+        text = report.to_text()
+        assert "Demo" in text and "VQPy" in text and "12.35" in text and "note" in text
+
+    def test_empty_report(self):
+        assert "(no data)" in RuntimeReport("Empty").to_text()
+
+    def test_columns_union_preserves_order(self):
+        report = RuntimeReport("t")
+        report.add_row(a=1)
+        report.add_row(b=2, a=3)
+        assert report.columns() == ["a", "b"]

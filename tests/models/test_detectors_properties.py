@@ -1,0 +1,194 @@
+"""Tests for simulated detectors, property models, filters, and interactions."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import SimClock
+from repro.models.detector import BinaryClassifier, GeneralObjectDetector, SpecializedDetector
+from repro.models.framefilters import MotionFrameFilter, TextureFrameFilter
+from repro.models.interaction import ActionClassifier, InteractionModel
+from repro.models.properties import (
+    ColorModel,
+    DirectionEstimator,
+    FeatureVectorModel,
+    LicensePlateModel,
+    SpeedEstimator,
+    VehicleTypeModel,
+)
+from repro.common.geometry import BBox
+
+
+class TestGeneralDetector:
+    def test_detects_most_objects(self, tiny_video):
+        detector = GeneralObjectDetector(miss_rate=0.0, false_positive_rate=0.0)
+        frame = tiny_video.frame(0)
+        detections = detector.detect(frame)
+        assert {d.class_name for d in detections} == {"car", "person"}
+        assert all(d.gt_object_id is not None for d in detections)
+
+    def test_results_deterministic(self, tiny_video):
+        detector = GeneralObjectDetector(seed=5)
+        frame = tiny_video.frame(3)
+        a = detector.detect(frame)
+        b = detector.detect(frame)
+        assert [(d.class_name, d.bbox.as_tuple()) for d in a] == [(d.class_name, d.bbox.as_tuple()) for d in b]
+
+    def test_misses_when_rate_is_one(self, tiny_video):
+        detector = GeneralObjectDetector(miss_rate=1.0, false_positive_rate=0.0)
+        assert detector.detect(tiny_video.frame(0)) == []
+
+    def test_class_restriction(self, tiny_video):
+        detector = GeneralObjectDetector(classes=("person",), miss_rate=0.0, false_positive_rate=0.0)
+        detections = detector.detect(tiny_video.frame(0))
+        assert {d.class_name for d in detections} == {"person"}
+
+    def test_charges_clock(self, tiny_video):
+        clock = SimClock()
+        GeneralObjectDetector(name="yolox").detect(tiny_video.frame(0), clock)
+        assert clock.by_account["yolox"] >= 30.0
+
+    def test_boxes_clipped_to_frame(self, tiny_video):
+        detector = GeneralObjectDetector(bbox_sigma=10.0, miss_rate=0.0)
+        for frame_id in range(0, tiny_video.num_frames, 7):
+            for d in detector.detect(tiny_video.frame(frame_id)):
+                assert d.bbox.x1 >= 0 and d.bbox.y1 >= 0
+                assert d.bbox.x2 <= 640 and d.bbox.y2 <= 480
+
+
+class TestSpecializedAndBinary:
+    def test_specialized_only_sees_target_attribute(self, tiny_video):
+        red = SpecializedDetector("red_car", "car", attribute="color", attribute_value="red", miss_rate=0.0, false_positive_rate=0.0)
+        blue = SpecializedDetector("blue_car", "car", attribute="color", attribute_value="blue", miss_rate=0.0, false_positive_rate=0.0)
+        frame = tiny_video.frame(0)
+        assert len(red.detect(frame)) == 1
+        assert blue.detect(frame) == []
+
+    def test_specialized_cheaper_than_general(self):
+        general = GeneralObjectDetector()
+        special = SpecializedDetector("s", "car")
+        assert special.cost_profile.cost(5) < general.cost_profile.cost(5)
+
+    def test_binary_classifier_mostly_correct(self, tiny_video):
+        clf = BinaryClassifier("red_presence", "car", attribute="color", attribute_value="red", false_negative_rate=0.0, false_positive_rate=0.0)
+        assert clf.predict(tiny_video.frame(0)) is True
+        clf_green = BinaryClassifier("green_presence", "car", attribute="color", attribute_value="green", false_negative_rate=0.0, false_positive_rate=0.0)
+        assert clf_green.predict(tiny_video.frame(0)) is False
+
+
+class TestPropertyModels:
+    def _detection(self, tiny_video, object_id=1):
+        frame = tiny_video.frame(0)
+        inst = frame.instance_by_id(object_id)
+        from repro.models.base import Detection
+
+        return Detection(inst.class_name, inst.bbox, 0.9, 0, gt_object_id=object_id), frame
+
+    def test_color_model_reads_truth(self, tiny_video):
+        detection, frame = self._detection(tiny_video)
+        assert ColorModel(error_rate=0.0).predict(detection, frame) == "red"
+
+    def test_color_model_consistent_per_object(self, tiny_video):
+        detection, frame = self._detection(tiny_video)
+        model = ColorModel(error_rate=1.0)
+        assert model.predict(detection, frame) == model.predict(detection, frame)
+        assert model.predict(detection, frame) != "red"
+
+    def test_type_and_plate_models(self, tiny_video):
+        detection, frame = self._detection(tiny_video)
+        assert VehicleTypeModel(error_rate=0.0).predict(detection, frame) == "sedan"
+        assert LicensePlateModel(error_rate=0.0).predict(detection, frame) == "ABC1245"
+
+    def test_plate_corruption_garbles_one_char(self, tiny_video):
+        detection, frame = self._detection(tiny_video)
+        garbled = LicensePlateModel(error_rate=1.0).predict(detection, frame)
+        assert garbled != "ABC1245" and len(garbled) == len("ABC1245")
+
+    def test_false_positive_gets_fallback(self, tiny_video):
+        from repro.models.base import Detection
+
+        frame = tiny_video.frame(0)
+        fp = Detection("car", BBox(0, 0, 50, 50), 0.5, 0, gt_object_id=None)
+        assert ColorModel(error_rate=0.0).predict(fp, frame) == "unknown"
+
+    def test_batch_matches_individual(self, tiny_video):
+        detection, frame = self._detection(tiny_video)
+        model = ColorModel(error_rate=0.0)
+        assert model.predict_batch([detection], frame) == [model.predict(detection, frame)]
+
+    def test_feature_vector_similarity(self, tiny_video):
+        det1, frame = self._detection(tiny_video, 1)
+        det2, _ = self._detection(tiny_video, 2)
+        model = FeatureVectorModel()
+        e1 = model.predict(det1, frame)
+        e1_again = model.predict(det1, tiny_video.frame(1) if False else frame)
+        e2 = model.predict(det2, frame)
+        assert FeatureVectorModel.similarity(e1, model.embed_object(1)) > 0.9
+        assert FeatureVectorModel.similarity(e1, e2) < 0.5
+        assert np.linalg.norm(e1) == pytest.approx(1.0)
+        assert FeatureVectorModel.similarity(e1, e1_again) > 0.99
+
+    def test_direction_estimator(self):
+        model = DirectionEstimator()
+        straight = [(x, 100.0) for x in range(0, 50, 5)]
+        assert model.predict(straight) == "go_straight"
+        assert model.predict([(0, 0)]) == "unknown"
+        assert model.predict([(0, 0), (0.1, 0), (0.15, 0)]) == "stopped"
+        turning = [(0, 0), (10, 0), (20, 2), (28, 10), (32, 20)]
+        assert model.predict(turning) == "turn_right"
+
+    def test_speed_estimator(self):
+        model = SpeedEstimator()
+        boxes = [BBox.from_center(0, 0, 10, 10), BBox.from_center(3, 4, 10, 10)]
+        assert model.predict(boxes) == pytest.approx(5.0)
+        assert model.predict(boxes[:1]) == 0.0
+
+
+class TestInteractionModels:
+    def test_interaction_detected(self, suspect_clip):
+        # Find a frame where the scripted get_into interaction is active.
+        event = next(e for e in suspect_clip.events if e.kind == "get_into")
+        frame = suspect_clip.frame(event.start_frame + 1)
+        from repro.models.base import Detection
+
+        person_inst = frame.instance_by_id(event.subject_id)
+        car_inst = frame.instance_by_id(event.object_id)
+        person = Detection("person", person_inst.bbox, 0.9, frame.frame_id, gt_object_id=event.subject_id)
+        car = Detection("car", car_inst.bbox, 0.9, frame.frame_id, gt_object_id=event.object_id)
+        model = InteractionModel(false_negative_rate=0.0, false_positive_rate=0.0)
+        preds = model.predict([person], [car], frame)
+        assert any(p.kind == "get_into" for p in preds)
+        # No interaction predicted in the reverse direction.
+        assert model.predict([car], [person], frame) == []
+
+    def test_action_classifier_reads_truth(self, tiny_video):
+        from repro.models.base import Detection
+
+        frame = tiny_video.frame(0)
+        inst = frame.instance_by_id(2)
+        detection = Detection("person", inst.bbox, 0.9, 0, gt_object_id=2)
+        assert ActionClassifier(error_rate=0.0).predict(detection, frame) == "standing"
+
+
+class TestFrameFilters:
+    def test_motion_filter_keeps_moving_frames(self, tiny_video):
+        filt = MotionFrameFilter(error_rate=0.0)
+        filt.keep(tiny_video.frame(0))
+        assert filt.keep(tiny_video.frame(1)) is True  # the car moves 6 px/frame
+
+    def test_motion_filter_drops_static_scene(self):
+        from repro.common.config import VideoSpec
+        from repro.videosim.entities import ObjectSpec
+        from repro.videosim.trajectory import StationaryTrajectory
+        from repro.videosim.video import SyntheticVideo
+
+        spec = VideoSpec("static", 10, 640, 480, 2)
+        video = SyntheticVideo(spec, [ObjectSpec(1, "car", StationaryTrajectory((100, 100)), (50, 30))])
+        filt = MotionFrameFilter(error_rate=0.0)
+        filt.keep(video.frame(0))
+        assert filt.keep(video.frame(1)) is False
+
+    def test_texture_filter(self, tiny_video):
+        keep_car = TextureFrameFilter("t", "car", false_negative_rate=0.0, false_positive_rate=0.0)
+        keep_ball = TextureFrameFilter("t2", "ball", false_negative_rate=0.0, false_positive_rate=0.0)
+        assert keep_car.keep(tiny_video.frame(0)) is True
+        assert keep_ball.keep(tiny_video.frame(0)) is False

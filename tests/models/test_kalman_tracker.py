@@ -1,0 +1,129 @@
+"""Tests for the Kalman filter and the two trackers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.common.geometry import BBox
+from repro.models.base import Detection
+from repro.models.kalman import KalmanBoxFilter, bbox_to_z, z_to_bbox
+from repro.models.tracker import IoUTracker, KalmanTracker
+
+
+def det(x, y, frame_id=0, cls="car", w=60, h=40, score=0.9):
+    return Detection(cls, BBox.from_center(x, y, w, h), score, frame_id, gt_object_id=None)
+
+
+class TestKalmanFilter:
+    def test_bbox_z_roundtrip(self):
+        box = BBox(10, 20, 70, 60)
+        recovered = z_to_bbox(bbox_to_z(box))
+        assert recovered.center == pytest.approx(box.center)
+        assert recovered.area == pytest.approx(box.area, rel=1e-6)
+
+    def test_stationary_prediction_stays_close(self):
+        box = BBox.from_center(100, 100, 40, 40)
+        kf = KalmanBoxFilter(box)
+        for _ in range(5):
+            kf.predict()
+            kf.update(box)
+        assert kf.bbox.center == pytest.approx((100, 100), abs=1.0)
+
+    def test_moving_object_velocity_learned(self):
+        kf = KalmanBoxFilter(BBox.from_center(0, 100, 40, 40))
+        for step in range(1, 20):
+            kf.predict()
+            kf.update(BBox.from_center(5.0 * step, 100, 40, 40))
+        predicted = kf.predict()
+        assert predicted.center[0] == pytest.approx(100, abs=5.0)
+
+    def test_scale_never_negative(self):
+        kf = KalmanBoxFilter(BBox.from_center(0, 0, 10, 10))
+        kf.x[6] = -100.0  # force a large negative scale velocity
+        box = kf.predict()
+        assert box.area > 0
+
+
+class TestKalmanTracker:
+    def test_track_ids_stable_across_frames(self):
+        tracker = KalmanTracker()
+        first = tracker.update([det(100, 100, 0), det(400, 300, 0)])
+        ids = {d.bbox.center[0]: d.track_id for d in first}
+        second = tracker.update([det(104, 100, 1), det(404, 300, 1)])
+        for d in second:
+            original = min(ids, key=lambda cx: abs(cx - d.bbox.center[0]))
+            assert d.track_id == ids[original]
+
+    def test_new_object_gets_new_track(self):
+        tracker = KalmanTracker()
+        tracker.update([det(100, 100, 0)])
+        out = tracker.update([det(103, 100, 1), det(600, 400, 1)])
+        assert len({d.track_id for d in out}) == 2
+
+    def test_track_retired_after_misses(self):
+        tracker = KalmanTracker(max_misses=2)
+        tracker.update([det(100, 100, 0)])
+        for frame in range(1, 5):
+            tracker.update([])
+        assert tracker.active_tracks == []
+
+    def test_output_preserves_input_order(self):
+        tracker = KalmanTracker()
+        tracker.update([det(100, 100, 0), det(400, 300, 0)])
+        out = tracker.update([det(400, 302, 1), det(102, 100, 1)])
+        assert [d.bbox.center[1] for d in out] == [302, 100]
+
+    def test_charges_clock(self):
+        clock = SimClock()
+        KalmanTracker().update([det(1, 1)], clock)
+        assert clock.by_account["kalman_tracker"] > 0
+
+    def test_reset_clears_state(self):
+        tracker = KalmanTracker()
+        tracker.update([det(100, 100, 0)])
+        tracker.reset()
+        assert tracker.active_tracks == []
+
+    def test_track_history_accessible(self):
+        tracker = KalmanTracker()
+        out = tracker.update([det(100, 100, 0)])
+        tid = out[0].track_id
+        tracker.update([det(105, 100, 1)])
+        track = tracker.track(tid)
+        assert track.length == 2
+        assert len(track.bbox_history(5)) == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.floats(50, 600), st.floats(50, 400)), min_size=0, max_size=6))
+    def test_every_detection_gets_a_track(self, centers):
+        tracker = KalmanTracker()
+        detections = [det(x, y) for x, y in centers]
+        out = tracker.update(detections)
+        assert len(out) == len(detections)
+        assert all(d.track_id is not None for d in out)
+
+
+class TestIoUTracker:
+    def test_greedy_association(self):
+        tracker = IoUTracker()
+        first = tracker.update([det(100, 100, 0)])
+        second = tracker.update([det(102, 100, 1)])
+        assert second[0].track_id == first[0].track_id
+
+    def test_disjoint_objects_get_distinct_tracks(self):
+        tracker = IoUTracker()
+        out = tracker.update([det(100, 100, 0), det(500, 400, 0)])
+        assert len({d.track_id for d in out}) == 2
+
+    def test_track_retired_after_misses(self):
+        tracker = IoUTracker(max_misses=1)
+        tracker.update([det(100, 100, 0)])
+        tracker.update([])
+        tracker.update([])
+        assert tracker.active_tracks == []
+
+    def test_output_preserves_input_order(self):
+        tracker = IoUTracker()
+        tracker.update([det(100, 100, 0), det(400, 300, 0)])
+        out = tracker.update([det(401, 300, 1), det(101, 100, 1)])
+        assert [round(d.bbox.center[0]) for d in out] == [401, 101]

@@ -1,0 +1,113 @@
+"""Tests for the VideoChat simulator and the model zoo registry."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ModelError
+from repro.models.base import ModelRegistry
+from repro.models.detector import GeneralObjectDetector
+from repro.models.mllm import VIDEOCHAT_13B, VIDEOCHAT_7B, VideoChatSim
+from repro.models.zoo import ModelZoo, default_zoo
+from repro.videosim.datasets import camera_clip, vcoco_images
+
+
+class TestVideoChatSim:
+    def test_memory_grows_with_clip_length(self):
+        sim = VideoChatSim(VIDEOCHAT_7B)
+        short = camera_clip("jackson", duration_s=2, seed=0)
+        long = camera_clip("jackson", duration_s=60, seed=0)
+        assert sim.clip_memory_gb(long) > sim.clip_memory_gb(short)
+
+    def test_long_clip_does_not_fit_40gb(self):
+        sim = VideoChatSim(VIDEOCHAT_7B, gpu_memory_gb=40.0)
+        long = camera_clip("jackson", duration_s=60, seed=0)
+        assert not sim.fits(long)
+        with pytest.raises(ModelError):
+            sim.precompute(long)
+
+    def test_low_resource_mode_fits_more(self):
+        clip = camera_clip("jackson", duration_s=30, seed=0)
+        full = VideoChatSim(VIDEOCHAT_13B, gpu_memory_gb=40.0, low_resource=False)
+        low = VideoChatSim(VIDEOCHAT_13B, gpu_memory_gb=40.0, low_resource=True)
+        assert low.total_memory_gb(clip) < full.total_memory_gb(clip)
+
+    def test_must_precompute_before_answering(self):
+        sim = VideoChatSim(VIDEOCHAT_7B)
+        with pytest.raises(ModelError):
+            sim.answer_boolean("Q1", True)
+
+    def test_precompute_charges_embedding_cost(self):
+        sim = VideoChatSim(VIDEOCHAT_7B)
+        clip = camera_clip("banff", duration_s=1, seed=0)
+        clock = SimClock()
+        sim.precompute(clip, clock)
+        assert clock.elapsed_ms == pytest.approx(VIDEOCHAT_7B.embed_ms_per_frame * clip.num_frames)
+
+    def test_boolean_answers_weakly_track_truth(self):
+        sim = VideoChatSim(VIDEOCHAT_7B, seed=1)
+        yes_when_true = 0
+        yes_when_false = 0
+        trials = 200
+        for i in range(trials):
+            clip = camera_clip("banff", duration_s=1, seed=i)
+            sim.precompute(clip)
+            if sim.answer_boolean(f"q{i}", True):
+                yes_when_true += 1
+            sim.precompute(clip)
+            if sim.answer_boolean(f"qf{i}", False):
+                yes_when_false += 1
+        assert yes_when_true > yes_when_false
+
+    def test_count_answers_inflated(self):
+        sim = VideoChatSim(VIDEOCHAT_7B, seed=2)
+        clip = camera_clip("banff", duration_s=1, seed=3)
+        sim.precompute(clip)
+        answers = []
+        for i in range(100):
+            sim._loaded_clip = clip
+            a = sim.answer_count(f"c{i}", truth=1.0)
+            if a is not None:
+                answers.append(a)
+        assert answers and sum(answers) / len(answers) > 1.5
+
+    def test_image_answering_charges_per_image(self):
+        sim = VideoChatSim(VIDEOCHAT_7B, seed=0)
+        image = vcoco_images(num_images=1, seed=0)[0]
+        clock = SimClock()
+        sim.answer_image_boolean("Q6", image, True, clock)
+        assert clock.elapsed_ms == pytest.approx(VIDEOCHAT_7B.image_ms_per_frame)
+
+
+class TestModelRegistryAndZoo:
+    def test_register_and_create(self):
+        registry = ModelRegistry()
+        registry.register("det", lambda: GeneralObjectDetector(), kind="detector")
+        assert "det" in registry
+        assert isinstance(registry.create("det"), GeneralObjectDetector)
+        assert registry.metadata("det")["kind"] == "detector"
+
+    def test_unknown_model_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelError):
+            registry.create("nope")
+        with pytest.raises(ModelError):
+            registry.metadata("nope")
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(ModelError):
+            ModelRegistry().register("bad", factory=42)
+
+    def test_default_zoo_has_paper_models(self, zoo):
+        for name in ("yolox", "yolov8m", "color_detect", "license_plate", "upt", "kalman_tracker", "norfair_tracker", "red_car_detector", "no_red_on_road", "dataset_tracks", "direction_classifier"):
+            assert name in zoo, name
+
+    def test_zoo_instance_caching(self, zoo):
+        a = zoo.get("yolox")
+        b = zoo.get("yolox")
+        c = zoo.get("yolox", fresh=True)
+        assert a is b
+        assert c is not a
+
+    def test_zoo_iteration_sorted(self, zoo):
+        names = list(zoo)
+        assert names == sorted(names)

@@ -1,0 +1,164 @@
+"""Tests for the scene generator, scripted events, and dataset presets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import VideoSpec
+from repro.videosim import events as ev
+from repro.videosim.datasets import (
+    CAMERA_SPECS,
+    CITYFLOW_QUERIES,
+    auburn_clip,
+    camera_clip,
+    cityflow_clip,
+    cityflow_dataset,
+    eva_comparison_clips,
+    hit_and_run_clip,
+    loitering_clip,
+    queue_clip,
+    suspect_scenario_clip,
+    vcoco_images,
+)
+from repro.videosim.scene import SceneGenerator, TrafficSceneConfig
+
+
+class TestTrafficSceneConfig:
+    def test_distributions_normalised(self):
+        cfg = TrafficSceneConfig(color_dist={"red": 2.0, "blue": 2.0})
+        assert cfg.color_dist["red"] == pytest.approx(0.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSceneConfig(vehicles_per_minute=-1)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSceneConfig(color_dist={"red": 0.0})
+
+
+class TestSceneGenerator:
+    def test_generation_is_deterministic(self):
+        spec = VideoSpec("t", 10, 1280, 720, 60)
+        a = SceneGenerator(spec, seed=5).generate_objects()
+        b = SceneGenerator(spec, seed=5).generate_objects()
+        assert len(a) == len(b)
+        assert [o.class_name for o in a] == [o.class_name for o in b]
+        assert [o.attributes.get("color") for o in a] == [o.attributes.get("color") for o in b]
+
+    def test_different_seeds_differ(self):
+        spec = VideoSpec("t", 10, 1280, 720, 120)
+        a = SceneGenerator(spec, seed=1).generate_objects()
+        b = SceneGenerator(spec, seed=2).generate_objects()
+        assert [o.enter_frame for o in a] != [o.enter_frame for o in b]
+
+    def test_vehicle_attributes_present(self):
+        spec = VideoSpec("t", 10, 1280, 720, 120)
+        objects = SceneGenerator(spec, TrafficSceneConfig(vehicles_per_minute=20, pedestrians_per_minute=0), seed=3).generate_objects()
+        vehicles = [o for o in objects if o.class_name in ("car", "bus", "truck")]
+        assert vehicles
+        for v in vehicles:
+            assert v.attributes["color"]
+            assert v.attributes["vehicle_type"]
+            assert len(v.attributes["license_plate"]) == 7
+            assert v.attributes["direction"] in ("go_straight", "turn_left", "turn_right")
+
+    def test_green_is_rare(self):
+        spec = VideoSpec("t", 10, 1280, 720, 600)
+        objects = SceneGenerator(spec, TrafficSceneConfig(vehicles_per_minute=40, pedestrians_per_minute=0), seed=9).generate_objects()
+        colors = [o.attributes["color"] for o in objects]
+        assert colors.count("green") < colors.count("black")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_video_builds_for_any_seed(self, seed):
+        spec = VideoSpec("t", 10, 640, 480, 20)
+        video = SceneGenerator(spec, seed=seed).generate_video()
+        assert video.num_frames == 200
+
+
+class TestScriptedEvents:
+    def test_person_gets_into_car(self):
+        objs, events = ev.person_gets_into_car(1, 2, (500, 300), start_frame=10)
+        assert {o.class_name for o in objs} == {"person", "car"}
+        assert events[0].kind == "get_into"
+        person = next(o for o in objs if o.class_name == "person")
+        assert person.action_at(events[0].start_frame) == "getting_into_car"
+
+    def test_hit_and_run_car_speeds_away(self):
+        objs, events = ev.hit_and_run(1, 2, (500, 300), collision_frame=100)
+        car = next(o for o in objs if o.class_name == "car")
+        assert car.attributes["speeding"] is True
+        assert events[0].kind == "collide"
+        # After the collision the car moves much faster than before.
+        assert car.trajectory.speed(150) > car.trajectory.speed(50)
+
+    def test_person_hits_ball(self):
+        objs, events = ev.person_hits_ball(1, 2, (300, 200))
+        assert {o.class_name for o in objs} == {"person", "ball"}
+        assert events[0].kind == "hit"
+
+    def test_checkout_queue_size(self):
+        objs, _ = ev.checkout_queue(10, (100, 300), num_people=5, start_frame=0, duration_frames=100)
+        assert len(objs) == 5
+        assert all(o.attributes.get("in_queue") for o in objs)
+
+    def test_checkout_queue_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ev.checkout_queue(10, (0, 0), num_people=0, start_frame=0, duration_frames=10)
+
+    def test_loitering_person_stays(self):
+        objs, _ = ev.loitering_person(5, (400, 300), start_frame=0, duration_frames=500)
+        person = objs[0]
+        positions = [person.trajectory.position(f) for f in range(0, 500, 50)]
+        assert all(abs(x - 400) < 200 and abs(y - 300) < 200 for x, y in positions)
+
+
+class TestDatasetPresets:
+    def test_camera_specs_match_table3(self):
+        assert CAMERA_SPECS["banff"].fps == 15 and CAMERA_SPECS["banff"].width == 1280
+        assert CAMERA_SPECS["jackson"].fps == 15 and CAMERA_SPECS["jackson"].height == 1080
+        assert CAMERA_SPECS["southampton"].fps == 30
+
+    def test_camera_clip_duration(self):
+        clip = camera_clip("banff", duration_s=20, seed=0)
+        assert clip.num_frames == 300
+
+    def test_unknown_camera(self):
+        with pytest.raises(KeyError):
+            camera_clip("gotham", 10)
+
+    def test_eva_comparison_clips_structure(self):
+        clips = eva_comparison_clips(duration_s=5, num_clips=2)
+        assert set(clips) == {"banff", "jackson", "southampton"}
+        assert all(len(v) == 2 for v in clips.values())
+
+    def test_cityflow_queries_table1(self):
+        assert len(CITYFLOW_QUERIES) == 5
+        assert CITYFLOW_QUERIES[0].standardized == "green sedan go straight"
+        assert CITYFLOW_QUERIES[4].standardized == "black suv turn right"
+
+    def test_cityflow_clip_has_tracks(self):
+        clip = cityflow_clip(0, seed=1, duration_s=20, tracks_per_clip=4)
+        vehicles = clip.ground_truth_tracks("car") + clip.ground_truth_tracks("bus") + clip.ground_truth_tracks("truck")
+        assert len(vehicles) >= 4
+
+    def test_cityflow_dataset_size(self):
+        clips = cityflow_dataset(num_clips=3, duration_s=10)
+        assert len(clips) == 3
+
+    def test_vcoco_positive_rate(self):
+        images = vcoco_images(num_images=300, seed=0, positive_rate=0.05)
+        positives = sum(
+            1 for img in images if any(inst.interacts("hit") for inst in img.frame(0).instances)
+        )
+        assert 2 <= positives <= 40
+
+    def test_auburn_clip_attributes(self):
+        clip = auburn_clip(duration_s=10, seed=0)
+        assert clip.scene_attributes["location"] == "crossroad"
+
+    def test_scenario_clips_contain_events(self):
+        assert any(e.kind == "get_into" for e in suspect_scenario_clip(duration_s=30).events)
+        assert any(e.kind == "collide" for e in hit_and_run_clip(duration_s=30).events)
+        assert loitering_clip(duration_s=30).num_frames > 0
+        assert queue_clip(duration_s=30).num_frames > 0

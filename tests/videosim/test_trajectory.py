@@ -1,0 +1,117 @@
+"""Tests for the motion models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.videosim.trajectory import (
+    LinearTrajectory,
+    LoiterTrajectory,
+    StationaryTrajectory,
+    TurnTrajectory,
+    WaypointTrajectory,
+)
+
+
+class TestLinear:
+    def test_position_advances_linearly(self):
+        traj = LinearTrajectory((10, 20), (2, -1))
+        assert traj.position(0) == (10, 20)
+        assert traj.position(5) == (20, 15)
+
+    def test_velocity_constant(self):
+        traj = LinearTrajectory((0, 0), (3, 4))
+        assert traj.velocity(17) == (3, 4)
+        assert traj.speed(17) == pytest.approx(5.0)
+
+    def test_direction_straight(self):
+        traj = LinearTrajectory((0, 0), (5, 0))
+        assert traj.direction_label(30) == "go_straight"
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500))
+    def test_position_additive(self, f1, f2):
+        traj = LinearTrajectory((0, 0), (1.5, -0.5))
+        x1, y1 = traj.position(f1)
+        x2, y2 = traj.position(f2)
+        x12, y12 = traj.position(f1 + f2)
+        assert x12 == pytest.approx(x1 + x2)
+        assert y12 == pytest.approx(y1 + y2)
+
+
+class TestTurn:
+    def test_heading_changes_after_turn(self):
+        traj = TurnTrajectory((0, 0), (5, 0), turn_frame=10, turn_deg=90, turn_duration=10)
+        assert traj.heading_deg(5) == pytest.approx(0.0, abs=1e-6)
+        assert traj.heading_deg(40) == pytest.approx(90.0, abs=1.0)
+
+    def test_direction_label_turn_right(self):
+        traj = TurnTrajectory((0, 0), (5, 0), turn_frame=5, turn_deg=80, turn_duration=15)
+        # During/after the turn, the label reflects a right turn (clockwise on screen).
+        assert traj.direction_label(20) == "turn_right"
+
+    def test_direction_label_turn_left(self):
+        traj = TurnTrajectory((0, 0), (5, 0), turn_frame=5, turn_deg=-80, turn_duration=15)
+        assert traj.direction_label(20) == "turn_left"
+
+    def test_speed_preserved_through_turn(self):
+        traj = TurnTrajectory((0, 0), (3, 4), turn_frame=5, turn_deg=90)
+        assert traj.speed(50) == pytest.approx(5.0, rel=1e-6)
+
+    def test_position_cache_consistent(self):
+        traj = TurnTrajectory((0, 0), (5, 0), turn_frame=5, turn_deg=45)
+        late = traj.position(50)
+        early = traj.position(10)
+        again = traj.position(50)
+        assert late == again
+        assert early != late
+
+
+class TestStationaryAndLoiter:
+    def test_stationary_without_jitter(self):
+        traj = StationaryTrajectory((100, 200))
+        assert traj.position(0) == traj.position(500) == (100, 200)
+
+    def test_stationary_jitter_is_deterministic(self):
+        a = StationaryTrajectory((0, 0), jitter=2.0, seed=3)
+        b = StationaryTrajectory((0, 0), jitter=2.0, seed=3)
+        assert a.position(42) == b.position(42)
+
+    def test_stationary_reads_as_stopped(self):
+        assert StationaryTrajectory((5, 5)).direction_label(20) == "stopped"
+
+    def test_loiter_stays_in_region(self):
+        traj = LoiterTrajectory((500, 300), radius=50, period_frames=100)
+        for frame in range(0, 400, 7):
+            x, y = traj.position(frame)
+            assert math.hypot(x - 500, y - 300) <= 51 * 1.5
+
+
+class TestWaypoint:
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, (0, 0))])
+
+    def test_duplicate_frames_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, (0, 0)), (0, (1, 1))])
+
+    def test_interpolation(self):
+        traj = WaypointTrajectory([(0, (0, 0)), (10, (10, 20))])
+        assert traj.position(5) == (5, 10)
+
+    def test_clamps_before_start(self):
+        traj = WaypointTrajectory([(10, (5, 5)), (20, (15, 5))])
+        assert traj.position(0) == (5, 5)
+
+    def test_hold_at_end(self):
+        traj = WaypointTrajectory([(0, (0, 0)), (10, (10, 0))], hold_at_end=True)
+        assert traj.position(100) == (10, 0)
+
+    def test_extrapolation_when_not_held(self):
+        traj = WaypointTrajectory([(0, (0, 0)), (10, (10, 0))], hold_at_end=False)
+        assert traj.position(20) == (20, 0)
+
+    def test_unsorted_waypoints_are_sorted(self):
+        traj = WaypointTrajectory([(10, (10, 0)), (0, (0, 0))])
+        assert traj.position(5) == (5, 0)
