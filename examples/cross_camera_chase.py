@@ -1,0 +1,66 @@
+"""Cross-camera amber-alert chase: one query set, several feeds.
+
+The single-video session cannot express a suspect vehicle moving between
+camera coverage areas.  :class:`MultiCameraSession` shards the same query
+set across feeds (each feed still executes its whole batch in one streaming
+pass) and merges the per-camera results deterministically, so the chase can
+be reconstructed as a camera-tagged event timeline.
+
+Run with:  python examples/cross_camera_chase.py
+"""
+
+from repro import MultiCameraSession, PlannerConfig
+from repro.frontend import Query
+from repro.frontend.builtin import Car
+from repro.frontend.higher_order import DurationQuery
+from repro.videosim import datasets
+
+
+class SuspectRedCarQuery(Query):
+    """A red vehicle sighting; plates are read out for cross-referencing."""
+
+    def __init__(self):
+        self.car = Car("suspect")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.5) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.license_plate, self.car.bbox)
+
+
+def main() -> None:
+    feeds = {
+        "highway_north": datasets.camera_clip("jackson", duration_s=60, seed=12),
+        "downtown": datasets.camera_clip("banff", duration_s=60, seed=14),
+        "bridge_cam": datasets.camera_clip("jackson", duration_s=60, seed=13),
+    }
+    session = MultiCameraSession(feeds, config=PlannerConfig(profile_plans=False))
+
+    sighting = SuspectRedCarQuery()
+    lingering = DurationQuery(SuspectRedCarQuery(), duration_s=2.0)
+    sightings, lingerings = session.execute_many([sighting, lingering])
+
+    print(f"cameras searched: {', '.join(sightings.cameras)}")
+    print(f"total virtual compute: {sightings.total_ms / 1000:.2f} s\n")
+
+    for camera, result in sightings:
+        plates = {r.outputs[1] for r in result.all_records() if r.frame_match}
+        print(
+            f"[{camera:>14}] {len(result.matched_frames):4d} matching frames, "
+            f"plates: {sorted(plates) or 'none'}"
+        )
+
+    print("\nchase timeline (camera-tagged duration events):")
+    timeline = lingerings.merged_events()
+    if not timeline:
+        print("  no lingering sightings in these clips")
+    for camera, event in timeline:
+        print(
+            f"  frames {event.start_frame:4d}-{event.end_frame:4d} on {camera} "
+            f"({event.num_frames} frames)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,9 +17,16 @@ from repro.backend.operators import (
 )
 from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
-from repro.backend.results import Event, MatchRecord, QueryResult
+from repro.backend.results import Event, MatchRecord, MultiCameraResult, QueryResult
 from repro.backend.runtime import ExecutionContext, TrackState, VObjState
-from repro.backend.session import QuerySession
+from repro.backend.session import MultiCameraSession, QuerySession
+from repro.backend.streaming import (
+    DurationStream,
+    OnlineEventGrouper,
+    PlanStream,
+    QueryStream,
+    TemporalStream,
+)
 
 __all__ = [
     "QueryAnalysis",
@@ -44,9 +51,16 @@ __all__ = [
     "PlannerConfig",
     "Event",
     "MatchRecord",
+    "MultiCameraResult",
     "QueryResult",
     "ExecutionContext",
     "TrackState",
     "VObjState",
+    "MultiCameraSession",
     "QuerySession",
+    "DurationStream",
+    "OnlineEventGrouper",
+    "PlanStream",
+    "QueryStream",
+    "TemporalStream",
 ]

@@ -1,45 +1,72 @@
-"""The execution engine (paper §4.1).
+"""The execution engine (paper §4.1): a single-pass streaming executor.
 
-The executor walks a plan's operators over every frame of a video, then runs
-the sink: it enumerates bindings of the surviving objects, re-checks the full
+Every query — basic, spatial, duration, temporal — is compiled into a
+:class:`~repro.backend.streaming.QueryStream` whose leaves are operator
+pipelines and whose inner nodes are incremental composition operators
+(online run-length event grouping for :class:`DurationQuery`, windowed
+event pairing for :class:`TemporalQuery`).  A batch of streams advances
+frame-by-frame over **one** :class:`VideoReader` scan with one shared
+:class:`ExecutionContext`, so detector, tracker, and property-model results
+are computed exactly once per (model, frame) — the paper's query-level
+computation reuse (§4.2, §5.3) — and per-frame caches are released in O(1)
+as soon as a frame has been fully processed.
+
+The sink enumerates bindings of the surviving objects, re-checks the full
 frame/video constraints (cheap — property values are already cached on the
-object states), resolves the outputs, and accumulates video-level aggregates.
-
-Higher-order queries are composed on top of the per-frame match streams:
-
-* :class:`~repro.frontend.higher_order.DurationQuery` groups matches into
-  per-object runs and keeps those lasting at least the required duration;
-* :class:`~repro.frontend.higher_order.TemporalQuery` pairs the events of its
-  two sub-queries that occur in order within the time window.
-
-Several plans can be executed in one pass over the video with a shared
-execution context; detector, tracker, and property-model results are then
-computed once — the paper's query-level computation reuse (§4.2, §5.3).
+object states), resolves the outputs, and accumulates video-level
+aggregates.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.backend.analysis import QueryAnalysis
-from repro.backend.graph import FrameGraph
+from repro.backend.graph import FrameGraph, VObjNode
 from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
 from repro.backend.results import Event, MatchRecord, QueryResult
 from repro.backend.runtime import ExecutionContext
-from repro.common.errors import ExecutionError
+from repro.backend.streaming import (
+    DurationStream,
+    OnlineEventGrouper,
+    PlanStream,
+    QueryStream,
+    TemporalStream,
+)
 from repro.frontend.expr import Environment, MISSING, TRUE
 from repro.frontend.higher_order import DurationQuery, TemporalQuery
-from repro.frontend.query import Aggregate, Query
+from repro.frontend.query import Query
 from repro.videosim.video import SyntheticVideo, VideoReader
 
 
 class Executor:
-    """Runs query plans over videos."""
+    """Compiles queries to streams and runs them over videos in one pass."""
 
     def __init__(self, config: Optional[PlannerConfig] = None) -> None:
         self.config = config or PlannerConfig()
+
+    # ------------------------------------------------------------- compilation --
+    def compile(self, query: Query, video: SyntheticVideo, planner: Planner) -> QueryStream:
+        """Compile any query (including higher-order compositions) to a stream."""
+        if isinstance(query, TemporalQuery):
+            min_gap, max_gap = query.gap_window_frames(video.fps)
+            return TemporalStream(
+                query.query_name,
+                self.compile(query.first, video, planner),
+                self.compile(query.second, video, planner),
+                min_gap_frames=min_gap,
+                max_gap_frames=max_gap,
+            )
+        if isinstance(query, DurationQuery):
+            base = PlanStream(planner.plan(query, video), self)
+            return DurationStream(
+                base,
+                required_frames=query.required_duration_frames(video.fps),
+                max_gap=query.max_gap_frames,
+            )
+        return PlanStream(planner.plan(query, video), self)
 
     # ------------------------------------------------------------------ plans --
     def execute_plan(self, plan: QueryPlan, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
@@ -49,38 +76,61 @@ class Executor:
     def execute_plans(
         self, plans: Sequence[QueryPlan], video: SyntheticVideo, ctx: ExecutionContext
     ) -> List[QueryResult]:
-        """Execute several plans in one pass, sharing per-frame computations."""
-        results = [
-            QueryResult(query_name=plan.query_name, plan_variant=plan.variant) for plan in plans
-        ]
-        operators = [plan.operators() for plan in plans]
+        """Execute several pre-built plans in one pass, sharing computations."""
+        return self.execute_streams([PlanStream(plan, self) for plan in plans], video, ctx)
+
+    # ---------------------------------------------------------------- streams --
+    def execute_streams(
+        self, streams: Sequence[QueryStream], video: SyntheticVideo, ctx: ExecutionContext
+    ) -> List[QueryResult]:
+        """Advance all streams through one scan of the video, then finalize."""
+        if not streams:
+            return []
+        leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
         reader = VideoReader(video, batch_size=self.config.batch_size, clock=ctx.clock)
         start_snapshot = ctx.clock.snapshot()
 
         for batch in reader.batches():
             for frame in batch:
                 frame_start = ctx.clock.snapshot()
-                for plan, plan_ops, result in zip(plans, operators, results):
-                    graph = FrameGraph(frame)
-                    for op in plan_ops:
-                        graph = op.run(graph, ctx)
-                        if graph.dropped:
-                            break
-                    self._sink(plan.analysis, graph, ctx, result)
-                    result.num_frames_processed += 1
-                frame_ms = ctx.clock.since(frame_start)
-                per_plan_ms = frame_ms / max(len(plans), 1)
-                for result in results:
-                    result.per_frame_ms.append(per_plan_ms)
+                for leaf in leaves:
+                    leaf.process_frame(frame, ctx)
+                per_leaf_ms = ctx.clock.since(frame_start) / max(len(leaves), 1)
+                for leaf in leaves:
+                    leaf.result.per_frame_ms.append(per_leaf_ms)
+                for stream in streams:
+                    stream.observe_frame(frame.frame_id)
                 ctx.release_frame(frame.frame_id)
 
         total = ctx.clock.since(start_snapshot)
-        for plan, result in zip(plans, results):
-            result.total_ms = total / max(len(plans), 1)
-            result.cost_breakdown = dict(ctx.clock.breakdown())
-            result.reuse_hits = ctx.reuse_stats.total_hits
-            self._finalize_aggregates(plan.analysis, result, video)
-        return results
+        for leaf in leaves:
+            leaf.result.total_ms = total / max(len(leaves), 1)
+            leaf.result.cost_breakdown = dict(ctx.clock.breakdown())
+            leaf.result.reuse_hits = ctx.reuse_stats.total_hits
+            self._finalize_aggregates(leaf.plan.analysis, leaf.result, video)
+        return [stream.finalize(video, ctx) for stream in streams]
+
+    # ---------------------------------------------------------------- queries --
+    def execute(
+        self,
+        query: Query,
+        video: SyntheticVideo,
+        ctx: ExecutionContext,
+        planner: Planner,
+    ) -> QueryResult:
+        """Execute any query, including higher-order compositions."""
+        return self.execute_queries([query], video, ctx, planner)[0]
+
+    def execute_queries(
+        self,
+        queries: Sequence[Query],
+        video: SyntheticVideo,
+        ctx: ExecutionContext,
+        planner: Planner,
+    ) -> List[QueryResult]:
+        """Execute a mixed batch of queries in exactly one video scan."""
+        streams = [self.compile(query, video, planner) for query in queries]
+        return self.execute_streams(streams, video, ctx)
 
     # ------------------------------------------------------------------- sink --
     def _sink(
@@ -131,7 +181,8 @@ class Executor:
                 continue
 
             signature = tuple(
-                (var.var_name, node.state.get("track_id")) for var, node in sorted(binding.items(), key=lambda kv: kv[0].var_name)
+                (var.var_name, self._binding_identity(node))
+                for var, node in sorted(binding.items(), key=lambda kv: kv[0].var_name)
             )
             outputs = tuple(self._resolve_value(expr, env) for expr in analysis.frame_outputs) if frame_ok else ()
             agg_values = tuple(self._resolve_value(agg.expr, env) for agg in analysis.video_outputs) if video_ok else ()
@@ -152,6 +203,22 @@ class Executor:
             result.matches[frame.frame_id] = frame_matches
 
     @staticmethod
+    def _binding_identity(node: VObjNode) -> Any:
+        """The object identity recorded in a match signature.
+
+        Tracked plans use the track id.  Plans without a tracker have no
+        track id; falling back to the frame-graph node id keeps distinct
+        objects in the same frame distinct instead of collapsing every
+        untracked object into one ``None`` signature (which merged separate
+        events in event extraction).  The ``@`` prefix marks the value as a
+        positional, non-track identity.
+        """
+        track_id = node.state.get("track_id")
+        if track_id is not None:
+            return track_id
+        return f"@{node.node_id}"
+
+    @staticmethod
     def _resolve_value(expr, env: Environment) -> Any:
         value = expr.resolve(env)
         return None if value is MISSING else value
@@ -164,6 +231,7 @@ class Executor:
         frames = max(result.num_frames_processed, 1)
         for idx, agg in enumerate(analysis.video_outputs):
             label = agg.label or f"{agg.kind}_{idx}"
+            result.aggregate_kinds[label] = agg.kind
             values = [r.aggregate_values[idx] for r in video_records if len(r.aggregate_values) > idx]
             if agg.kind == "count_distinct":
                 result.aggregates[label] = len({v for v in values if v is not None})
@@ -177,96 +245,17 @@ class Executor:
             elif agg.kind == "collect":
                 result.aggregates[label] = values
 
-    # ------------------------------------------------------- higher-order queries --
-    def execute(
-        self,
-        query: Query,
-        video: SyntheticVideo,
-        ctx: ExecutionContext,
-        planner: Planner,
-    ) -> QueryResult:
-        """Execute any query, including higher-order compositions."""
-        if isinstance(query, TemporalQuery):
-            return self._execute_temporal(query, video, ctx, planner)
-        if isinstance(query, DurationQuery):
-            return self._execute_duration(query, video, ctx, planner)
-        plan = planner.plan(query, video)
-        return self.execute_plan(plan, video, ctx)
-
-    def _execute_duration(
-        self, query: DurationQuery, video: SyntheticVideo, ctx: ExecutionContext, planner: Planner
-    ) -> QueryResult:
-        plan = planner.plan(query, video)
-        result = self.execute_plan(plan, video, ctx)
-        required = query.required_duration_frames(video.fps)
-        events = extract_events(result, max_gap=query.max_gap_frames, min_length=required)
-        qualifying_frames = set()
-        for event in events:
-            qualifying_frames.update(range(event.start_frame, event.end_frame + 1))
-        result.events = events
-        result.matched_frames = sorted(set(result.matched_frames) & qualifying_frames)
-        result.aggregates.setdefault("num_events", len(events))
-        return result
-
-    def _execute_temporal(
-        self, query: TemporalQuery, video: SyntheticVideo, ctx: ExecutionContext, planner: Planner
-    ) -> QueryResult:
-        first = self.execute(query.first, video, ctx, planner)
-        second = self.execute(query.second, video, ctx, planner)
-        first_events = first.events or extract_events(first)
-        second_events = second.events or extract_events(second)
-
-        min_gap = int(query.min_gap_s * video.fps)
-        max_gap = int(query.max_gap_s * video.fps)
-        pairs: List[Event] = []
-        matched_frames: set = set()
-        for ev_a in first_events:
-            for ev_b in second_events:
-                gap = ev_b.start_frame - ev_a.end_frame
-                if min_gap <= gap <= max_gap:
-                    pairs.append(
-                        Event(
-                            start_frame=ev_a.start_frame,
-                            end_frame=ev_b.end_frame,
-                            signature=ev_a.signature + ev_b.signature,
-                            label=f"{first.query_name}->{second.query_name}",
-                        )
-                    )
-                    matched_frames.update(range(ev_a.start_frame, ev_b.end_frame + 1))
-
-        result = QueryResult(query_name=query.query_name)
-        result.num_frames_processed = max(first.num_frames_processed, second.num_frames_processed)
-        result.events = pairs
-        result.matched_frames = sorted(matched_frames & (set(first.matched_frames) | set(second.matched_frames)))
-        result.total_ms = first.total_ms + second.total_ms
-        result.per_frame_ms = [a + b for a, b in zip(first.per_frame_ms, second.per_frame_ms)] or first.per_frame_ms
-        result.aggregates["num_event_pairs"] = len(pairs)
-        result.reuse_hits = max(first.reuse_hits, second.reuse_hits)
-        return result
-
 
 def extract_events(result: QueryResult, max_gap: int = 5, min_length: int = 1) -> List[Event]:
     """Group a result's matches into per-object-set events (continuous runs).
 
     Matches sharing the same binding signature that occur within ``max_gap``
     frames of each other belong to the same event; events shorter than
-    ``min_length`` frames are dropped.
+    ``min_length`` frames are dropped.  This is the offline counterpart of
+    :class:`~repro.backend.streaming.OnlineEventGrouper`, which the executor
+    uses to group events incrementally during the scan.
     """
-    by_signature: Dict[Tuple, List[int]] = defaultdict(list)
-    for frame_id, records in result.matches.items():
-        for record in records:
-            by_signature[record.signature].append(frame_id)
-
-    events: List[Event] = []
-    for signature, frame_ids in by_signature.items():
-        frame_ids = sorted(set(frame_ids))
-        start = prev = frame_ids[0]
-        for fid in frame_ids[1:]:
-            if fid - prev > max_gap:
-                if prev - start + 1 >= min_length:
-                    events.append(Event(start_frame=start, end_frame=prev, signature=signature))
-                start = fid
-            prev = fid
-        if prev - start + 1 >= min_length:
-            events.append(Event(start_frame=start, end_frame=prev, signature=signature))
-    return sorted(events, key=lambda e: (e.start_frame, e.end_frame))
+    grouper = OnlineEventGrouper(max_gap=max_gap, min_length=min_length)
+    for frame_id in sorted(result.matches):
+        grouper.observe(frame_id, (record.signature for record in result.matches[frame_id]))
+    return grouper.finish()

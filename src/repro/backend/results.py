@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -11,8 +11,9 @@ class MatchRecord:
     """One matching binding (objects for each query variable) on one frame."""
 
     frame_id: int
-    #: variable name -> track id (or None when the plan has no tracker).
-    binding: Tuple[Tuple[str, Optional[int]], ...]
+    #: variable name -> object identity: the track id, or an ``"@<node_id>"``
+    #: positional fallback when the plan has no tracker.
+    binding: Tuple[Tuple[str, Any], ...]
     #: Values of the query's frame_output expressions.
     outputs: Tuple[Any, ...] = ()
     #: Whether the binding satisfies the frame-level constraint.
@@ -23,7 +24,7 @@ class MatchRecord:
     aggregate_values: Tuple[Any, ...] = ()
 
     @property
-    def signature(self) -> Tuple[Tuple[str, Optional[int]], ...]:
+    def signature(self) -> Tuple[Tuple[str, Any], ...]:
         """Identity of the participating objects (used to group events)."""
         return self.binding
 
@@ -53,6 +54,9 @@ class QueryResult:
     matches: Dict[int, List[MatchRecord]] = field(default_factory=dict)
     #: Video-level aggregate results keyed by the aggregate's label.
     aggregates: Dict[str, Any] = field(default_factory=dict)
+    #: label -> aggregate kind ("count_distinct", "max_per_frame", ...); lets
+    #: multi-camera merging combine each aggregate the right way.
+    aggregate_kinds: Dict[str, str] = field(default_factory=dict)
     #: Duration / temporal events (higher-order queries).
     events: List[Event] = field(default_factory=list)
     #: Virtual milliseconds charged while processing each frame (in order).
@@ -83,12 +87,119 @@ class QueryResult:
         return [r for r in self.all_records() if r.video_match]
 
     def distinct_tracks(self, var_name: Optional[str] = None) -> set:
-        """Distinct track ids across matches (optionally for one variable)."""
+        """Distinct track ids across matches (optionally for one variable).
+
+        Only real tracker-assigned ids count; the positional ``"@<node_id>"``
+        fallback identities of untracked plans are not object identities.
+        """
         tracks = set()
         for record in self.all_records():
             for name, track_id in record.binding:
-                if track_id is None:
+                if not isinstance(track_id, int):
                     continue
                 if var_name is None or name == var_name:
                     tracks.add((name, track_id))
         return tracks
+
+
+@dataclass
+class MultiCameraResult:
+    """One query's results sharded across several camera feeds.
+
+    Cameras keep their insertion order (the order the session was built
+    with), so every merged view below is deterministic.
+    """
+
+    query_name: str
+    #: camera name -> that feed's QueryResult (insertion-ordered).
+    per_camera: Dict[str, QueryResult] = field(default_factory=dict)
+
+    def camera(self, name: str) -> QueryResult:
+        try:
+            return self.per_camera[name]
+        except KeyError:
+            raise KeyError(f"no camera {name!r}; have {sorted(self.per_camera)}") from None
+
+    @property
+    def cameras(self) -> List[str]:
+        return list(self.per_camera)
+
+    def __iter__(self) -> Iterator[Tuple[str, QueryResult]]:
+        return iter(self.per_camera.items())
+
+    # -- merged views ------------------------------------------------------
+    @property
+    def total_ms(self) -> float:
+        """Total virtual compute across all feeds."""
+        return sum(r.total_ms for r in self.per_camera.values())
+
+    @property
+    def num_matches(self) -> int:
+        return sum(r.num_matches for r in self.per_camera.values())
+
+    @property
+    def num_frames_processed(self) -> int:
+        return sum(r.num_frames_processed for r in self.per_camera.values())
+
+    def matched_frames(self) -> Dict[str, List[int]]:
+        """Matching frame ids per camera (frame ids are feed-local)."""
+        return {name: list(r.matched_frames) for name, r in self.per_camera.items()}
+
+    def merged_events(self) -> List[Tuple[str, Event]]:
+        """All events across feeds, tagged with their camera, in time order.
+
+        Ties on (start, end) are broken by camera name so the merge is
+        deterministic regardless of per-feed event counts.
+        """
+        tagged = [
+            (name, event)
+            for name, result in self.per_camera.items()
+            for event in result.events
+        ]
+        tagged.sort(key=lambda pair: (pair[1].start_frame, pair[1].end_frame, pair[0]))
+        return tagged
+
+    def merged_aggregates(self) -> Dict[str, Any]:
+        """Combine per-camera aggregates under each label, by aggregate kind.
+
+        Counts (``count_distinct``, event counts) sum across feeds.
+        ``max_per_frame`` takes the maximum (it is an extremum, not a
+        count), ``collect`` lists concatenate in camera order, and
+        ``average_per_frame`` merges as a frame-weighted average.  Labels
+        without kind metadata fall back to the same rules keyed on the
+        value's type (lists concatenate, ints sum, floats average).
+
+        Caveat: only the per-feed *counts* survive into ``aggregates``, so
+        summed ``count_distinct`` is exact for feed-local identities (track
+        ids) but over-counts values that can recur across feeds (license
+        plates, colors).  For a cross-feed distinct count, aggregate with
+        ``collect`` and dedupe the concatenated values instead.
+        """
+        merged: Dict[str, Any] = {}
+        weights: Dict[str, int] = {}
+        for result in self.per_camera.values():
+            frames = max(result.num_frames_processed, 1)
+            for label, value in result.aggregates.items():
+                kind = result.aggregate_kinds.get(label, "")
+                if label not in merged:
+                    merged[label] = list(value) if isinstance(value, list) else value
+                    weights[label] = frames
+                elif kind == "collect" or isinstance(value, list):
+                    merged[label] = list(merged[label]) + list(value)
+                elif kind == "max_per_frame":
+                    merged[label] = max(merged[label], value)
+                elif kind == "average_per_frame":
+                    seen = weights[label]
+                    merged[label] = (merged[label] * seen + value * frames) / (seen + frames)
+                    weights[label] = seen + frames
+                elif kind in ("count_distinct", "count"):
+                    merged[label] += value
+                elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue  # non-numeric without kind: keep the first camera's value
+                elif isinstance(value, int) and isinstance(merged[label], int):
+                    merged[label] += value
+                else:
+                    seen = weights[label]
+                    merged[label] = (merged[label] * seen + value * frames) / (seen + frames)
+                    weights[label] = seen + frames
+        return merged

@@ -182,14 +182,27 @@ class VObjState:
 
 
 class SceneState:
-    """Property accessor for the per-frame Scene VObj."""
+    """Per-frame lazy, memoised property accessor for the Scene VObj.
+
+    Scene instances are cached per (scene type, frame) on the execution
+    context, so scene properties are computed (and charged to the clock)
+    once per frame rather than once per enumerated binding.
+    """
 
     def __init__(self, scene_type: type, frame: Frame, context: "ExecutionContext") -> None:
         self.scene_type = scene_type
         self.frame = frame
         self.context = context
+        self._cache: Dict[str, Any] = {}
 
     def get(self, name: str) -> Any:
+        if name in self._cache:
+            return self._cache[name]
+        value = self._resolve(name)
+        self._cache[name] = value
+        return value
+
+    def _resolve(self, name: str) -> Any:
         frame = self.frame
         if name == "frame_id":
             return frame.frame_id
@@ -313,13 +326,16 @@ class ExecutionContext:
         self.frame_rate = video.fps
         self.reuse_stats = ReuseStats()
 
-        self._detections: Dict[Tuple[str, int], List[Detection]] = {}
-        self._tracked: Dict[Tuple[str, str, int], List[Detection]] = {}
+        # Per-frame caches are indexed by frame id first, so releasing a
+        # frame pops one bucket in O(1) instead of rebuilding whole dicts.
+        self._detections: Dict[int, Dict[str, List[Detection]]] = {}
+        self._tracked: Dict[int, Dict[Tuple[str, str], List[Detection]]] = {}
         self._trackers: Dict[Tuple[str, str], Any] = {}
         self._models: Dict[str, Any] = {}
         self._track_states: Dict[Tuple[type, int], TrackState] = {}
-        self._vobj_states: Dict[Tuple[type, Detection], VObjState] = {}
-        self._interactions: Dict[Tuple[str, Detection, Detection], Tuple[str, ...]] = {}
+        self._vobj_states: Dict[int, Dict[Tuple[type, Detection], VObjState]] = {}
+        self._interactions: Dict[int, Dict[Tuple[str, Detection, Detection], Tuple[str, ...]]] = {}
+        self._scene_states: Dict[int, Dict[type, SceneState]] = {}
 
     # -- model access -----------------------------------------------------------
     def model(self, name: str) -> Any:
@@ -338,28 +354,29 @@ class ExecutionContext:
 
     # -- shared per-frame computations ----------------------------------------------
     def detect(self, model_name: str, frame: Frame) -> List[Detection]:
-        key = (model_name, frame.frame_id)
-        if key not in self._detections:
-            self._detections[key] = self.model(model_name).detect(frame, self.clock)
-        return self._detections[key]
+        per_frame = self._detections.setdefault(frame.frame_id, {})
+        if model_name not in per_frame:
+            per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
+        return per_frame[model_name]
 
     def track(self, tracker_name: str, detector_name: str, frame: Frame, detections: Sequence[Detection]) -> List[Detection]:
-        key = (tracker_name, detector_name, frame.frame_id)
-        if key not in self._tracked:
-            tracker_key = (tracker_name, detector_name)
-            if tracker_key not in self._trackers:
-                self._trackers[tracker_key] = self.zoo.get(tracker_name, fresh=True)
-            tracker = self._trackers[tracker_key]
-            self._tracked[key] = tracker.update(list(detections), self.clock)
-        return self._tracked[key]
+        per_frame = self._tracked.setdefault(frame.frame_id, {})
+        key = (tracker_name, detector_name)
+        if key not in per_frame:
+            if key not in self._trackers:
+                self._trackers[key] = self.zoo.get(tracker_name, fresh=True)
+            tracker = self._trackers[key]
+            per_frame[key] = tracker.update(list(detections), self.clock)
+        return per_frame[key]
 
     def interactions(self, model_name: str, subject: Detection, object_: Detection, frame: Frame) -> Tuple[str, ...]:
+        per_frame = self._interactions.setdefault(frame.frame_id, {})
         key = (model_name, subject, object_)
-        if key not in self._interactions:
+        if key not in per_frame:
             model = self.model(model_name)
             preds = model.predict([subject], [object_], frame, self.clock)
-            self._interactions[key] = tuple(p.kind for p in preds)
-        return self._interactions[key]
+            per_frame[key] = tuple(p.kind for p in preds)
+        return per_frame[key]
 
     # -- state management --------------------------------------------------------------
     def track_state(self, vobj_type: type, track_id: Optional[int]) -> Optional[TrackState]:
@@ -371,8 +388,9 @@ class ExecutionContext:
         return self._track_states[key]
 
     def vobj_state(self, vobj_type: type, detection: Detection, frame: Frame) -> VObjState:
+        per_frame = self._vobj_states.setdefault(frame.frame_id, {})
         key = (vobj_type, detection)
-        state = self._vobj_states.get(key)
+        state = per_frame.get(key)
         if state is None:
             state = VObjState(
                 vobj_type,
@@ -381,21 +399,25 @@ class ExecutionContext:
                 self,
                 track_state=self.track_state(vobj_type, detection.track_id),
             )
-            self._vobj_states[key] = state
+            per_frame[key] = state
         return state
 
     def scene_state(self, scene_type: type, frame: Frame) -> SceneState:
-        return SceneState(scene_type, frame, self)
+        per_frame = self._scene_states.setdefault(frame.frame_id, {})
+        state = per_frame.get(scene_type)
+        if state is None:
+            state = SceneState(scene_type, frame, self)
+            per_frame[scene_type] = state
+        return state
 
     def relation_state(self, relation_type: type, subject: VObjState, object_: VObjState, frame: Frame) -> RelationState:
         return RelationState(relation_type, subject, object_, frame, self)
 
     # -- housekeeping -------------------------------------------------------------------
     def release_frame(self, frame_id: int) -> None:
-        """Drop per-frame caches once a frame has been fully processed."""
-        self._detections = {k: v for k, v in self._detections.items() if k[1] != frame_id}
-        self._tracked = {k: v for k, v in self._tracked.items() if k[2] != frame_id}
-        self._vobj_states = {k: v for k, v in self._vobj_states.items() if v.frame.frame_id != frame_id}
-        self._interactions = {
-            k: v for k, v in self._interactions.items() if k[1].frame_id != frame_id
-        }
+        """Drop the frame's caches in O(evicted entries), not O(cache size)."""
+        self._detections.pop(frame_id, None)
+        self._tracked.pop(frame_id, None)
+        self._vobj_states.pop(frame_id, None)
+        self._interactions.pop(frame_id, None)
+        self._scene_states.pop(frame_id, None)

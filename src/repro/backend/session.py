@@ -1,6 +1,7 @@
-"""The public entry point for running VQPy queries: :class:`QuerySession`.
+"""The public entry points for running VQPy queries.
 
-A session binds a video, a model zoo, and a planner configuration::
+:class:`QuerySession` binds one video, a model zoo, and a planner
+configuration::
 
     from repro import QuerySession
     from repro.videosim import datasets
@@ -9,23 +10,30 @@ A session binds a video, a model zoo, and a planner configuration::
     session = QuerySession(video)
     result = session.execute(RedCarQuery())
 
-``execute_many`` runs several queries in one pass over the video with a
-shared execution context, which is the paper's query-level computation reuse
-(§4.2, evaluated in §5.3 as "VQPy-Opt").
+``execute_many`` compiles every query — basic, spatial, duration, and
+temporal alike — into streams that advance together through **one** pass
+over the video with one shared execution context; detector, tracker, and
+property-model results are paid once per (model, frame).  This is the
+paper's query-level computation reuse (§4.2, evaluated in §5.3 as
+"VQPy-Opt"), now covering higher-order compositions as well.
+
+:class:`MultiCameraSession` shards the same query set across several camera
+feeds (e.g. the amber-alert chase crossing camera coverage areas) and merges
+the per-feed results deterministically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.backend.executor import Executor
 from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
-from repro.backend.results import QueryResult
+from repro.backend.results import MultiCameraResult, QueryResult
 from repro.backend.runtime import ExecutionContext
 from repro.common.clock import SimClock
 from repro.common.errors import PlanError
-from repro.frontend.higher_order import DurationQuery, TemporalQuery
+from repro.frontend.higher_order import TemporalQuery
 from repro.frontend.query import Query
 from repro.frontend.registry import get_library_zoo
 from repro.models.zoo import ModelZoo
@@ -46,8 +54,11 @@ class QuerySession:
         self.config = config or PlannerConfig()
         self.planner = Planner(self.zoo, self.config)
         self.executor = Executor(self.config)
-        #: The context of the most recent execution (cost breakdown, reuse stats).
+        #: The context of the most recent single-video execution.
         self.last_context: Optional[ExecutionContext] = None
+        #: The MultiCameraSession behind the most recent execute_over call
+        #: (exposes per-feed cost breakdowns); None after single-video runs.
+        self.last_multi: Optional["MultiCameraSession"] = None
 
     # -- planning ---------------------------------------------------------------
     def plan(self, query: Query) -> QueryPlan:
@@ -70,39 +81,129 @@ class QuerySession:
         )
 
     def execute(self, query: Query, clock: Optional[SimClock] = None) -> QueryResult:
-        """Execute one query over the session's video."""
-        ctx = self._new_context(clock)
-        self.last_context = ctx
-        return self.executor.execute(query, self.video, ctx, self.planner)
+        """Execute one query over the session's video (one streaming pass)."""
+        return self.execute_many([query], clock=clock)[0]
 
     def execute_many(self, queries: Sequence[Query], clock: Optional[SimClock] = None) -> List[QueryResult]:
         """Execute several queries in a single pass with shared computation.
 
-        Basic and spatial queries are batched through one video scan;
-        higher-order duration/temporal queries are composed afterwards but
-        still share the same execution context (and therefore the cached
-        detector/tracker/property results).
+        All queries — basic, spatial, duration, and temporal — compile to
+        streams driven by one video scan over one shared execution context,
+        so per-frame model results (detector, tracker, properties) are
+        computed exactly once per (model, frame) across the whole batch.
         """
         ctx = self._new_context(clock)
         self.last_context = ctx
+        self.last_multi = None
+        return self.executor.execute_queries(list(queries), self.video, ctx, self.planner)
 
-        simple: List[Query] = []
-        composite: List[Query] = []
-        for query in queries:
-            (composite if isinstance(query, (DurationQuery, TemporalQuery)) else simple).append(query)
+    def execute_over(
+        self,
+        videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
+        queries: Sequence[Query],
+        include_self: bool = True,
+    ) -> List[MultiCameraResult]:
+        """Shard the query set across several feeds and merge the results.
 
-        results: Dict[int, QueryResult] = {}
-        if simple:
-            plans = [self.planner.plan(q, self.video) for q in simple]
-            for query, result in zip(simple, self.executor.execute_plans(plans, self.video, ctx)):
-                results[id(query)] = result
-        for query in composite:
-            results[id(query)] = self.executor.execute(query, self.video, ctx, self.planner)
-        return [results[id(q)] for q in queries]
+        ``videos`` may be a name -> video mapping or a plain sequence (feeds
+        are then named by their spec).  With ``include_self`` (the default)
+        the session's own video runs first, ahead of the extra feeds.  Each
+        feed gets its own execution context but performs the same
+        single-pass batched execution as :meth:`execute_many`.
+        """
+        feeds = _named_feeds(videos)
+        if include_self:
+            own = _unique_name(self.video.spec.name, feeds)
+            feeds = {own: self.video, **feeds}
+        multi = MultiCameraSession(feeds, zoo=self.zoo, config=self.config)
+        results = multi.execute_many(queries)
+        # Reporting follows the most recent execution: keep the multi session
+        # reachable (per-feed costs) and stop pointing at a stale context.
+        self.last_multi = multi
+        self.last_context = None
+        return results
 
     # -- reporting ---------------------------------------------------------------
     def cost_breakdown(self) -> Dict[str, float]:
-        """Virtual-ms breakdown (by model/operator) of the last execution."""
+        """Virtual-ms breakdown (by model/operator) of the last execution.
+
+        After :meth:`execute_over` this is the per-account sum across all
+        feeds; ``last_multi.cost_breakdown()`` has the per-feed split.
+        """
+        if self.last_multi is not None:
+            merged: Dict[str, float] = {}
+            for breakdown in self.last_multi.cost_breakdown().values():
+                for account, ms in breakdown.items():
+                    merged[account] = merged.get(account, 0.0) + ms
+            return dict(sorted(merged.items(), key=lambda kv: -kv[1]))
         if self.last_context is None:
             return {}
         return self.last_context.clock.breakdown()
+
+
+class MultiCameraSession:
+    """Runs the same query set over several camera feeds and merges results.
+
+    One :class:`QuerySession` is kept per feed, all sharing the same model
+    zoo and planner configuration; each feed's batch still executes as one
+    streaming pass.  Feeds are processed in insertion order, so merged
+    results are deterministic.
+    """
+
+    def __init__(
+        self,
+        videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
+        zoo: Optional[ModelZoo] = None,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        feeds = _named_feeds(videos)
+        if not feeds:
+            raise ValueError("MultiCameraSession needs at least one video feed")
+        self.zoo = zoo or get_library_zoo()
+        self.config = config or PlannerConfig()
+        self.sessions: Dict[str, QuerySession] = {
+            name: QuerySession(video, zoo=self.zoo, config=self.config)
+            for name, video in feeds.items()
+        }
+
+    @property
+    def cameras(self) -> List[str]:
+        return list(self.sessions)
+
+    def execute(self, query: Query) -> MultiCameraResult:
+        """Execute one query across every feed."""
+        return self.execute_many([query])[0]
+
+    def execute_many(self, queries: Sequence[Query]) -> List[MultiCameraResult]:
+        """Execute a query batch across every feed (one pass per feed)."""
+        queries = list(queries)
+        merged = [MultiCameraResult(query_name=q.query_name) for q in queries]
+        for name, session in self.sessions.items():
+            for result, holder in zip(session.execute_many(queries), merged):
+                holder.per_camera[name] = result
+        return merged
+
+    def cost_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-camera virtual-ms breakdown of the last execution."""
+        return {name: session.cost_breakdown() for name, session in self.sessions.items()}
+
+
+def _named_feeds(
+    videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
+) -> Dict[str, SyntheticVideo]:
+    """Normalise a feed collection to an ordered name -> video mapping."""
+    if isinstance(videos, Mapping):
+        return dict(videos)
+    feeds: Dict[str, SyntheticVideo] = {}
+    for video in videos:
+        feeds[_unique_name(video.spec.name, feeds)] = video
+    return feeds
+
+
+def _unique_name(base: str, taken: Mapping[str, SyntheticVideo]) -> str:
+    if base not in taken:
+        return base
+    suffix = 2
+    while f"{base}#{suffix}" in taken:
+        suffix += 1
+    return f"{base}#{suffix}"

@@ -182,6 +182,10 @@ class TemporalQuery(Query):
         self.max_gap_s = max_gap_s
         self.min_gap_s = min_gap_s
 
+    def gap_window_frames(self, fps: float) -> Tuple[int, int]:
+        """The (min, max) allowed gap between the two events, in frames."""
+        return int(self.min_gap_s * fps), int(self.max_gap_s * fps)
+
     # TemporalQuery is video-level: its result is the set of (first, second)
     # event pairs within the window, produced by the executor's composition
     # layer.  The per-frame constraints of the sub-queries are what the

@@ -143,6 +143,30 @@ class TestTrackState:
         assert len(ts.history("center")) == 3
         assert ts.history("center")[-1] == (9, 9)
 
+    def test_window_grow_preserves_history(self):
+        ts = TrackState(Car, 1)
+        for f in range(3):
+            ts.record("center", f, (f, f), window=2)
+        assert ts.history("center") == [(1, 1), (2, 2)]
+        # A property asking for a larger window keeps what was recorded.
+        ts.record("center", 3, (3, 3), window=4)
+        assert ts.history("center") == [(1, 1), (2, 2), (3, 3)]
+        ts.record("center", 4, (4, 4), window=4)
+        assert ts.history("center") == [(1, 1), (2, 2), (3, 3), (4, 4)]
+
+    def test_window_shrink_keeps_most_recent(self):
+        ts = TrackState(Car, 1)
+        for f in range(4):
+            ts.record("center", f, (f, f), window=4)
+        ts.record("center", 4, (4, 4), window=2)
+        assert ts.history("center") == [(3, 3), (4, 4)]
+
+    def test_resize_on_same_frame_still_overwrites(self):
+        ts = TrackState(Car, 1)
+        ts.record("center", 0, (0, 0), window=2)
+        ts.record("center", 0, (9, 9), window=5)  # same frame, new window
+        assert ts.history("center") == [(9, 9)]
+
 
 class TestRelationState:
     def test_builtin_relation_properties(self, ctx, tiny_video):
@@ -189,3 +213,49 @@ class TestExecutionContextSharing:
         assert ctx.track_state(Car, 5) is ctx.track_state(Car, 5)
         assert ctx.track_state(Car, 5) is not ctx.track_state(Person, 5)
         assert ctx.track_state(Car, None) is None
+
+    def test_release_frame_keeps_other_frames(self, ctx, tiny_video):
+        f0, f1 = tiny_video.frame(0), tiny_video.frame(1)
+        ctx.detect("yolox", f0)
+        ctx.detect("yolox", f1)
+        cost = ctx.clock.elapsed_ms
+        ctx.release_frame(0)
+        ctx.detect("yolox", f1)  # the other frame's cache survives eviction
+        assert ctx.clock.elapsed_ms == cost
+        ctx.detect("yolox", f0)  # the released frame is recomputed
+        assert ctx.clock.elapsed_ms > cost
+
+    def test_release_unknown_frame_is_a_noop(self, ctx):
+        ctx.release_frame(12345)
+
+
+class TestSceneState:
+    def test_scene_state_cached_per_frame(self, ctx, tiny_video):
+        from repro.frontend.builtin import TrafficScene
+
+        frame = tiny_video.frame(0)
+        state = ctx.scene_state(TrafficScene, frame)
+        assert ctx.scene_state(TrafficScene, frame) is state
+        assert ctx.scene_state(TrafficScene, tiny_video.frame(1)) is not state
+        ctx.release_frame(0)
+        assert ctx.scene_state(TrafficScene, frame) is not state
+
+    def test_scene_property_charged_once_per_frame(self, ctx, tiny_video):
+        from repro.frontend.builtin import TrafficScene
+        from repro.frontend.properties import stateless
+
+        class CrowdScene(TrafficScene):
+            @stateless(inputs=("num_objects",))
+            def crowded(self, num_objects):
+                return num_objects > 1
+
+        frame = tiny_video.frame(0)
+        state = ctx.scene_state(CrowdScene, frame)
+        first = state.get("crowded")
+        cost = ctx.clock.elapsed_ms
+        assert cost > 0
+        assert state.get("crowded") == first
+        assert ctx.clock.elapsed_ms == cost  # memoised: no second python charge
+        # Every binding enumerated on the frame sees the same memoised state.
+        assert ctx.scene_state(CrowdScene, frame).get("crowded") == first
+        assert ctx.clock.elapsed_ms == cost

@@ -1,0 +1,177 @@
+"""Tests for the multi-video batch API (MultiCameraSession / execute_over)."""
+
+import pytest
+
+from repro.backend.results import MultiCameraResult
+from repro.backend.session import MultiCameraSession, QuerySession
+from repro.frontend.builtin import Car
+from repro.frontend.query import Query, count_distinct
+from repro.videosim.datasets import camera_clip
+
+
+class RedCarQuery(Query):
+    """The quickstart/amber-alert style example query."""
+
+    def __init__(self):
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class CarCountQuery(Query):
+    def __init__(self):
+        self.car = Car("car")
+
+    def video_constraint(self):
+        return self.car.score > 0.5
+
+    def video_output(self):
+        return (count_distinct(self.car.track_id, label="num_cars"),)
+
+
+@pytest.fixture(scope="module")
+def feeds():
+    return {
+        "jackson": camera_clip("jackson", duration_s=5, seed=2),
+        "banff": camera_clip("banff", duration_s=5, seed=1),
+    }
+
+
+class TestMultiCameraSession:
+    def test_example_query_across_two_feeds(self, feeds, zoo, fast_config):
+        multi = MultiCameraSession(feeds, zoo=zoo, config=fast_config)
+        merged = multi.execute(RedCarQuery())
+        assert isinstance(merged, MultiCameraResult)
+        assert merged.cameras == ["jackson", "banff"]
+        for name, video in feeds.items():
+            assert merged.camera(name).num_frames_processed == video.num_frames
+        assert merged.num_frames_processed == sum(v.num_frames for v in feeds.values())
+        assert merged.total_ms == pytest.approx(
+            sum(r.total_ms for _, r in merged)
+        )
+
+    def test_per_feed_results_match_single_sessions(self, feeds, zoo, fast_config):
+        merged = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(RedCarQuery())
+        for name, video in feeds.items():
+            solo = QuerySession(video, zoo=zoo, config=fast_config).execute(RedCarQuery())
+            assert merged.camera(name).matched_frames == solo.matched_frames
+            assert merged.camera(name).num_matches == solo.num_matches
+
+    def test_merge_is_deterministic(self, feeds, zoo, fast_config):
+        first = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(RedCarQuery())
+        second = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(RedCarQuery())
+        assert first.matched_frames() == second.matched_frames()
+        assert first.merged_events() == second.merged_events()
+        assert first.merged_aggregates() == second.merged_aggregates()
+
+    def test_count_aggregates_sum_across_feeds(self, feeds, zoo, fast_config):
+        merged = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(CarCountQuery())
+        per_feed = [r.aggregates["num_cars"] for _, r in merged]
+        assert merged.merged_aggregates()["num_cars"] == sum(per_feed)
+        assert all(count > 0 for count in per_feed)
+
+    def test_sequence_feeds_get_unique_names(self, zoo, fast_config):
+        videos = [camera_clip("banff", duration_s=5, seed=1), camera_clip("banff", duration_s=5, seed=4)]
+        multi = MultiCameraSession(videos, zoo=zoo, config=fast_config)
+        assert multi.cameras == ["banff", "banff#2"]
+
+    def test_execute_many_returns_one_merge_per_query(self, feeds, zoo, fast_config):
+        multi = MultiCameraSession(feeds, zoo=zoo, config=fast_config)
+        merged = multi.execute_many([RedCarQuery(), CarCountQuery()])
+        assert [m.query_name for m in merged] == ["RedCarQuery", "CarCountQuery"]
+        assert all(m.cameras == ["jackson", "banff"] for m in merged)
+
+    def test_empty_feed_set_rejected(self, zoo, fast_config):
+        with pytest.raises(ValueError):
+            MultiCameraSession({}, zoo=zoo, config=fast_config)
+
+    def test_unknown_camera_raises(self, feeds, zoo, fast_config):
+        merged = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(RedCarQuery())
+        with pytest.raises(KeyError):
+            merged.camera("nonexistent")
+
+
+class TestMergedAggregates:
+    @staticmethod
+    def _feed_result(frames, aggregates, kinds):
+        from repro.backend.results import QueryResult
+
+        result = QueryResult(query_name="q")
+        result.num_frames_processed = frames
+        result.aggregates = dict(aggregates)
+        result.aggregate_kinds = dict(kinds)
+        return result
+
+    def test_max_per_frame_takes_the_maximum(self):
+        merged = MultiCameraResult(
+            query_name="q",
+            per_camera={
+                "a": self._feed_result(100, {"peak": 3}, {"peak": "max_per_frame"}),
+                "b": self._feed_result(100, {"peak": 2}, {"peak": "max_per_frame"}),
+            },
+        )
+        assert merged.merged_aggregates()["peak"] == 3
+
+    def test_counts_sum_and_averages_weight_by_frames(self):
+        merged = MultiCameraResult(
+            query_name="q",
+            per_camera={
+                "a": self._feed_result(
+                    100,
+                    {"n": 4, "avg": 2.0, "plates": ["x"]},
+                    {"n": "count_distinct", "avg": "average_per_frame", "plates": "collect"},
+                ),
+                "b": self._feed_result(
+                    300,
+                    {"n": 1, "avg": 6.0, "plates": ["y", "z"]},
+                    {"n": "count_distinct", "avg": "average_per_frame", "plates": "collect"},
+                ),
+            },
+        )
+        out = merged.merged_aggregates()
+        assert out["n"] == 5
+        assert out["avg"] == pytest.approx((2.0 * 100 + 6.0 * 300) / 400)
+        assert out["plates"] == ["x", "y", "z"]
+
+
+class TestExecuteOver:
+    def test_session_video_runs_first_by_default(self, tiny_video, feeds, zoo, fast_config):
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        merged = session.execute_over(feeds, [RedCarQuery()])
+        assert len(merged) == 1
+        assert merged[0].cameras == ["tiny", "jackson", "banff"]
+        # The session's own feed produced the same result it would alone.
+        solo = QuerySession(tiny_video, zoo=zoo, config=fast_config).execute(RedCarQuery())
+        assert merged[0].camera("tiny").matched_frames == solo.matched_frames
+
+    def test_exclude_own_video(self, tiny_video, feeds, zoo, fast_config):
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        merged = session.execute_over(feeds, [RedCarQuery()], include_self=False)
+        assert merged[0].cameras == ["jackson", "banff"]
+
+    def test_name_collision_with_own_video(self, zoo, fast_config):
+        own = camera_clip("banff", duration_s=5, seed=9)
+        session = QuerySession(own, zoo=zoo, config=fast_config)
+        merged = session.execute_over([camera_clip("banff", duration_s=5, seed=1)], [RedCarQuery()])
+        assert merged[0].cameras == ["banff#2", "banff"]
+
+    def test_cost_breakdown_tracks_the_multicamera_run(self, tiny_video, feeds, zoo, fast_config):
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        session.execute(RedCarQuery())
+        single = session.cost_breakdown()
+        session.execute_over(feeds, [RedCarQuery()])
+        multi = session.cost_breakdown()
+        # The breakdown follows the execute_over run (all feeds summed), not
+        # the stale single-video context.
+        assert multi != single
+        per_feed = session.last_multi.cost_breakdown()
+        assert set(per_feed) == {"tiny", "jackson", "banff"}
+        assert multi["yolox"] == pytest.approx(sum(bd.get("yolox", 0.0) for bd in per_feed.values()))
+        # A later single-video run flips reporting back.
+        session.execute(RedCarQuery())
+        assert session.last_multi is None
+        assert session.cost_breakdown() == single

@@ -5,7 +5,7 @@ import pytest
 from repro.backend.analysis import analyze_query
 from repro.backend.executor import Executor, extract_events
 from repro.backend.planner import Planner, PlannerConfig
-from repro.backend.results import MatchRecord, QueryResult
+from repro.backend.results import Event, MatchRecord, QueryResult
 from repro.backend.runtime import ExecutionContext
 from repro.backend.session import QuerySession
 from repro.common.errors import PlanError
@@ -260,3 +260,32 @@ class TestExtractEvents:
     def test_signatures_kept_separate(self):
         result = self._result_with({(("car", 1),): [1, 2], (("car", 2),): [1, 2]})
         assert len(extract_events(result)) == 2
+
+    def test_single_frame_event_at_min_length_boundary(self):
+        result = self._result_with({(("car", 1),): [7]})
+        kept = extract_events(result, min_length=1)
+        assert kept == [Event(7, 7, signature=(("car", 1),))]
+        assert extract_events(result, min_length=2) == []
+
+    def test_gap_exactly_max_gap_stays_one_event(self):
+        result = self._result_with({(("car", 1),): [1, 6]})
+        assert len(extract_events(result, max_gap=5)) == 1
+        assert len(extract_events(result, max_gap=4)) == 2
+
+    def test_min_length_counts_span_not_observations(self):
+        # Frames 1 and 6 span 6 frames even though only 2 were observed.
+        result = self._result_with({(("car", 1),): [1, 6]})
+        events = extract_events(result, max_gap=5, min_length=6)
+        assert events == [Event(1, 6, signature=(("car", 1),))]
+        assert extract_events(result, max_gap=5, min_length=7) == []
+
+    def test_interleaved_signatures_grouped_independently(self):
+        result = self._result_with(
+            {(("car", 1),): [1, 3, 5, 20], (("car", 2),): [2, 4, 6]}
+        )
+        events = extract_events(result, max_gap=5)
+        assert [(e.signature, e.start_frame, e.end_frame) for e in events] == [
+            ((("car", 1),), 1, 5),
+            ((("car", 2),), 2, 6),
+            ((("car", 1),), 20, 20),
+        ]

@@ -1,0 +1,285 @@
+"""Tests for the single-pass streaming executor (query compilation, reuse)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.backend.executor import extract_events
+from repro.backend.results import Event, MatchRecord, QueryResult
+from repro.backend.session import QuerySession
+from repro.backend.streaming import OnlineEventGrouper, QueryStream, TemporalStream
+from repro.common.config import VideoSpec
+from repro.frontend.builtin import Car, Person
+from repro.frontend.higher_order import DurationQuery, SequentialQuery
+from repro.frontend.query import Query
+from repro.models.detector import GeneralObjectDetector
+from repro.videosim.entities import ObjectSpec
+from repro.videosim.trajectory import LinearTrajectory, StationaryTrajectory
+from repro.videosim.video import SyntheticVideo
+
+
+class RedCarQuery(Query):
+    def __init__(self):
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class PersonQuery(Query):
+    def __init__(self):
+        self.person = Person("person")
+
+    def frame_constraint(self):
+        return self.person.score > 0.5
+
+    def frame_output(self):
+        return (self.person.track_id,)
+
+
+class UntrackedPersonQuery(Query):
+    """Only builtin properties, so the plan carries no tracker."""
+
+    def __init__(self):
+        self.person = Person("person")
+
+    def frame_constraint(self):
+        return self.person.score > 0.4
+
+    def frame_output(self):
+        return (self.person.bbox,)
+
+
+def mixed_batch():
+    return [
+        RedCarQuery(),
+        DurationQuery(RedCarQuery(), duration_s=1.0),
+        SequentialQuery(RedCarQuery(), PersonQuery(), max_gap_s=10),
+    ]
+
+
+def spy_on_detect(monkeypatch):
+    """Count invocations of the (shared) detector model per (model, frame)."""
+    calls = Counter()
+    original = GeneralObjectDetector.detect
+
+    def spy(self, frame, clock=None):
+        calls[(self.name, frame.frame_id)] += 1
+        return original(self, frame, clock)
+
+    monkeypatch.setattr(GeneralObjectDetector, "detect", spy)
+    return calls
+
+
+class TestSinglePassExecution:
+    def test_mixed_batch_invokes_detector_once_per_model_frame(
+        self, tiny_video, zoo, fast_config, monkeypatch
+    ):
+        """Regression: composite queries in execute_many must not re-pay detection.
+
+        The seed executed Duration/Temporal compositions through separate
+        post-scan execute() calls; with the per-frame caches already
+        released, every composite re-ran the detector over the whole video.
+        """
+        calls = spy_on_detect(monkeypatch)
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        session.execute_many(mixed_batch())
+        assert calls, "spy never saw the detector"
+        assert max(calls.values()) == 1
+
+    def test_mixed_batch_scans_the_video_once(self, tiny_video, zoo, fast_config):
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        session.execute_many(mixed_batch())
+        # Every decoded frame charges the video_reader account exactly once.
+        assert session.last_context.clock.calls["video_reader"] == tiny_video.num_frames
+
+    def test_single_temporal_query_scans_once(self, tiny_video, zoo, fast_config):
+        """The seed ran one scan per temporal sub-query even in execute()."""
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        session.execute(SequentialQuery(RedCarQuery(), PersonQuery(), max_gap_s=10))
+        assert session.last_context.clock.calls["video_reader"] == tiny_video.num_frames
+
+    def test_batched_composite_matches_standalone_execution(self, tiny_video, zoo, fast_config):
+        duration = lambda: DurationQuery(RedCarQuery(), duration_s=1.0)
+        standalone = QuerySession(tiny_video, zoo=zoo, config=fast_config).execute(duration())
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        batched = session.execute_many([RedCarQuery(), duration()])[1]
+        assert batched.events == standalone.events
+        assert batched.matched_frames == standalone.matched_frames
+        assert batched.aggregates["num_events"] == standalone.aggregates["num_events"]
+
+    def test_duration_events_match_offline_extraction(self, tiny_video, zoo, fast_config):
+        query = DurationQuery(RedCarQuery(), duration_s=1.0)
+        result = QuerySession(tiny_video, zoo=zoo, config=fast_config).execute(query)
+        required = query.required_duration_frames(tiny_video.fps)
+        assert result.events == extract_events(
+            result, max_gap=query.max_gap_frames, min_length=required
+        )
+
+    def test_shared_batch_is_cheaper_than_individual(self, tiny_video, zoo, fast_config):
+        individual = sum(
+            QuerySession(tiny_video, zoo=zoo, config=fast_config).execute(q).total_ms
+            for q in mixed_batch()
+        )
+        session = QuerySession(tiny_video, zoo=zoo, config=fast_config)
+        shared = sum(r.total_ms for r in session.execute_many(mixed_batch()))
+        assert shared < individual
+
+
+class TestUntrackedSignatures:
+    @pytest.fixture
+    def two_person_video(self):
+        spec = VideoSpec("two_person", fps=10, width=640, height=480, duration_s=4)
+        people = [
+            ObjectSpec(
+                object_id=i,
+                class_name="person",
+                trajectory=StationaryTrajectory((120 + 300 * i, 240)),
+                size=(42, 90),
+                default_action="standing",
+            )
+            for i in (0, 1)
+        ]
+        return SyntheticVideo(spec, people, seed=3)
+
+    def test_untracked_objects_keep_distinct_signatures(
+        self, two_person_video, zoo, fast_config
+    ):
+        """Regression: every untracked object collapsed into one None signature."""
+        session = QuerySession(two_person_video, zoo=zoo, config=fast_config)
+        query = UntrackedPersonQuery()
+        assert session.plan(query).count_kind("object_tracker") == 0
+        result = session.execute(query)
+        assert result.matched_frames
+        records = result.matches[result.matched_frames[0]]
+        assert len(records) == 2
+        assert len({r.signature for r in records}) == 2
+        # Two persistent objects -> two events, not one merged blob.
+        assert len(extract_events(result)) == 2
+        # Positional fallback identities are not reported as track ids.
+        assert result.distinct_tracks() == set()
+
+
+class _StubStream(QueryStream):
+    def __init__(self, result):
+        self.result = result
+
+    def plan_streams(self):
+        return []
+
+    def observe_frame(self, frame_id):
+        pass
+
+    def finalize(self, video, ctx):
+        return self.result
+
+
+def _stub_result(name, per_frame_ms, events):
+    result = QueryResult(query_name=name)
+    result.per_frame_ms = per_frame_ms
+    result.num_frames_processed = len(per_frame_ms)
+    result.events = events
+    return result
+
+
+class TestTemporalStream:
+    def test_per_frame_ms_padded_not_truncated(self):
+        """Regression: zip() silently dropped the longer sub-result's tail."""
+        first = _stub_result("a", [1.0] * 10, [Event(0, 2, signature=(("a", 1),))])
+        second = _stub_result("b", [2.0] * 6, [Event(5, 7, signature=(("b", 2),))])
+        stream = TemporalStream("t", _StubStream(first), _StubStream(second), 0, 10)
+        result = stream.finalize(None, None)
+        assert len(result.per_frame_ms) == 10
+        assert result.per_frame_ms[:6] == [3.0] * 6
+        assert result.per_frame_ms[6:] == [1.0] * 4
+        assert result.num_frames_processed == 10
+
+    def test_paired_event_includes_gap_frames(self):
+        """Regression: intersecting with sub-query matches dropped the frames
+        between the first event's end and the second event's start."""
+        first = _stub_result("a", [1.0] * 10, [Event(0, 2, signature=(("a", 1),))])
+        second = _stub_result("b", [1.0] * 10, [Event(6, 8, signature=(("b", 2),))])
+        stream = TemporalStream("t", _StubStream(first), _StubStream(second), 0, 10)
+        result = stream.finalize(None, None)
+        assert result.aggregates["num_event_pairs"] == 1
+        assert result.matched_frames == list(range(0, 9))  # 3..5 are gap frames
+
+    def test_out_of_window_events_do_not_pair(self):
+        first = _stub_result("a", [1.0] * 10, [Event(0, 2, signature=(("a", 1),))])
+        second = _stub_result("b", [1.0] * 10, [Event(9, 9, signature=(("b", 2),))])
+        stream = TemporalStream("t", _StubStream(first), _StubStream(second), 0, 5)
+        result = stream.finalize(None, None)
+        assert result.events == []
+        assert result.matched_frames == []
+
+    def test_scripted_two_phase_video_pairs_across_the_gap(self, zoo, fast_config):
+        """A car leaves, then a person appears later: the pair spans the gap."""
+        spec = VideoSpec("two_phase", fps=10, width=640, height=480, duration_s=5)
+        car = ObjectSpec(
+            object_id=1,
+            class_name="car",
+            trajectory=LinearTrajectory((100, 240), (2.0, 0.0)),
+            size=(100, 50),
+            enter_frame=0,
+            exit_frame=14,
+            attributes={"color": "red", "vehicle_type": "sedan", "license_plate": "XYZ0045"},
+        )
+        person = ObjectSpec(
+            object_id=2,
+            class_name="person",
+            trajectory=StationaryTrajectory((400, 300)),
+            size=(42, 90),
+            enter_frame=30,
+            exit_frame=44,
+            default_action="standing",
+        )
+        video = SyntheticVideo(spec, [car, person], seed=5)
+        query = SequentialQuery(RedCarQuery(), PersonQuery(), max_gap_s=3.0)
+        result = QuerySession(video, zoo=zoo, config=fast_config).execute(query)
+        assert len(result.events) == 1
+        event = result.events[0]
+        # The reported range is contiguous: it includes the empty gap frames
+        # between the car's exit and the person's entrance.
+        assert result.matched_frames == list(range(event.start_frame, event.end_frame + 1))
+        assert event.start_frame <= 14 < 30 <= event.end_frame
+
+
+class TestOnlineEventGrouper:
+    def test_streaming_matches_offline_extraction(self):
+        frames_by_signature = {
+            (("car", 1),): [1, 2, 3, 9, 10, 11, 30],
+            (("car", 2),): [2, 4, 6, 8, 25],
+        }
+        observations = {}
+        for signature, frames in frames_by_signature.items():
+            for frame_id in frames:
+                observations.setdefault(frame_id, []).append(signature)
+
+        grouper = OnlineEventGrouper(max_gap=3, min_length=2)
+        for frame_id in range(0, 40):
+            grouper.observe(frame_id, observations.get(frame_id, ()))
+        online = grouper.finish()
+
+        result = QueryResult(query_name="t")
+        for frame_id, signatures in observations.items():
+            result.matches[frame_id] = [
+                MatchRecord(frame_id=frame_id, binding=s) for s in signatures
+            ]
+        assert online == extract_events(result, max_gap=3, min_length=2)
+
+    def test_events_close_during_the_stream(self):
+        grouper = OnlineEventGrouper(max_gap=2, min_length=1)
+        grouper.observe(0, [(("car", 1),)])
+        grouper.observe(1, [(("car", 1),)])
+        for frame_id in range(2, 5):
+            grouper.observe(frame_id, ())
+        # The run expired mid-stream without waiting for finish().
+        assert grouper._closed == [Event(0, 1, signature=(("car", 1),))]
+
+    def test_finish_is_idempotent(self):
+        grouper = OnlineEventGrouper()
+        grouper.observe(0, [(("car", 1),)])
+        assert grouper.finish() == grouper.finish() == [Event(0, 0, signature=(("car", 1),))]
