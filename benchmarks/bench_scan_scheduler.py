@@ -1,0 +1,320 @@
+"""Adaptive-scan-scheduler benches: what work the scheduler avoids.
+
+Three measurements against the PR-1 exhaustive scan:
+
+1. frame-filter gating + early exit — detector invocations and simulated
+   milliseconds on a workload whose cheap frame filters reject most frames
+   and whose bounded queries determine their answers early;
+2. result identity — the scheduler must produce byte-identical results
+   (matched frames, events, aggregates) to the exhaustive scan on the
+   existing mixed-batch workload;
+3. parallel multi-camera execution — per-feed makespan speedup of the
+   thread-pool scan over serial feed processing.
+
+Each test prints a ``json`` block (``--- bench_scan_scheduler JSON ---``)
+with the raw counters; ``benchmarks/README.md`` explains the fields.  The
+CI smoke runs this file and fails if the scheduler ever performs MORE
+detector invocations than the exhaustive baseline.
+"""
+
+import json
+import time
+
+from _scale import scaled
+
+from repro.backend.planner import PlannerConfig
+from repro.backend.session import MultiCameraSession, QuerySession
+from repro.common.config import VideoSpec
+from repro.frontend.builtin import Car, Person, RedCar
+from repro.frontend.higher_order import DurationQuery, SequentialQuery
+from repro.frontend.query import Query
+from repro.frontend.registry import get_library_zoo
+from repro.videosim.datasets import camera_clip
+from repro.videosim.entities import ObjectSpec
+from repro.videosim.trajectory import LinearTrajectory, StationaryTrajectory
+from repro.videosim.video import SyntheticVideo
+
+#: The scheduler: gating + early exit on (the defaults).
+SCHEDULED = PlannerConfig(profile_plans=False)
+#: PR-1 behaviour: frame filters inside every pipeline, scan runs to the end.
+PIPELINE_FILTERS = PlannerConfig(
+    profile_plans=False, enable_scan_gating=False, enable_early_exit=False
+)
+#: Fully exhaustive baseline: no frame filters at all, every frame pays detection.
+EXHAUSTIVE = PlannerConfig(
+    profile_plans=False,
+    use_registered_filters=False,
+    enable_scan_gating=False,
+    enable_early_exit=False,
+)
+
+
+class _RedCarQuery(Query):
+    def __init__(self):
+        self.car = Car("car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.6) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.bbox)
+
+
+class _GatedRedCarQuery(_RedCarQuery):
+    """RedCar VObj: registers the ``no_red_on_road`` frame filter (§4.4)."""
+
+    def __init__(self):
+        self.car = RedCar("car")
+
+
+class _PersonQuery(Query):
+    def __init__(self):
+        self.person = Person("person")
+
+    def frame_constraint(self):
+        return self.person.score > 0.5
+
+    def frame_output(self):
+        return (self.person.track_id,)
+
+
+def _event_ranges(result):
+    """Events stripped of the gate's skip annotation (range identity check).
+
+    The in-pipeline PR-1 scan cannot know which frames a gate skipped, so
+    ``skipped_frames`` is the one field allowed to differ; start/end,
+    signature, and label must match exactly.
+    """
+    return [(e.start_frame, e.end_frame, e.signature, e.label) for e in result.events]
+
+
+def _emit_json(name, payload):
+    print()
+    print(f"--- bench_scan_scheduler JSON [{name}] ---")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _sparse_red_car_video(duration_s: float) -> SyntheticVideo:
+    """A video where red cars are visible in only ~15% of the frames.
+
+    Red-car bursts of 30 frames recur every 200 frames, with a person
+    appearing shortly after each burst (so temporal pairs exist).  The
+    ``no_red_on_road`` filter can discard the long red-car-free stretches
+    before the detector runs.
+    """
+    fps = 10
+    num_frames = int(duration_s * fps)
+    objects = []
+    object_id = 1
+    for burst_start in range(10, num_frames, 200):
+        objects.append(
+            ObjectSpec(
+                object_id=object_id,
+                class_name="car",
+                trajectory=LinearTrajectory((50, 300), (3.0, 0.0)),
+                size=(100, 50),
+                enter_frame=burst_start,
+                exit_frame=min(burst_start + 30, num_frames - 1),
+                attributes={"color": "red", "vehicle_type": "sedan"},
+            )
+        )
+        object_id += 1
+        objects.append(
+            ObjectSpec(
+                object_id=object_id,
+                class_name="person",
+                trajectory=StationaryTrajectory((420, 350)),
+                size=(30, 80),
+                enter_frame=min(burst_start + 40, num_frames - 1),
+                exit_frame=min(burst_start + 70, num_frames - 1),
+                default_action="standing",
+            )
+        )
+        object_id += 1
+    spec = VideoSpec("sparse_red", fps=fps, width=640, height=480, duration_s=duration_s)
+    return SyntheticVideo(spec, objects, seed=13)
+
+
+def _detector_calls(session: QuerySession) -> int:
+    return session.last_context.clock.calls.get("yolox", 0)
+
+
+def test_gating_and_early_exit_reduce_detector_invocations(benchmark):
+    """Gated + bounded workload vs the exhaustive scan (the CI guard).
+
+    The workload mixes a gated frame query, a gated duration query, and an
+    existence query; the scheduler must (a) never run the detector more
+    often than the exhaustive scan and (b) cut invocations at least 2x.
+    """
+    video = _sparse_red_car_video(scaled(240.0, minimum=60.0))
+    zoo = get_library_zoo()
+
+    gated_batch = lambda: [
+        _GatedRedCarQuery(),
+        DurationQuery(_GatedRedCarQuery(), duration_s=2.0),
+    ]
+
+    def run_scheduled():
+        session = QuerySession(video, zoo=zoo, config=SCHEDULED)
+        results = session.execute_many(gated_batch())
+        return session, results
+
+    (sched_session, sched_results) = benchmark.pedantic(run_scheduled, rounds=1, iterations=1)
+
+    pipe_session = QuerySession(video, zoo=zoo, config=PIPELINE_FILTERS)
+    pipe_results = pipe_session.execute_many(gated_batch())
+    exh_session = QuerySession(video, zoo=zoo, config=EXHAUSTIVE)
+    exh_session.execute_many(gated_batch())
+
+    # Result identity: hoisting the filters into the gate must not change
+    # matched frames, events, or aggregates vs running them in-pipeline.
+    for sched, piped in zip(sched_results, pipe_results):
+        assert sched.matched_frames == piped.matched_frames
+        assert _event_ranges(sched) == _event_ranges(piped)
+        assert sched.aggregates == piped.aggregates
+
+    # Early exit: an existence query on the same video.
+    exists_session = QuerySession(video, zoo=zoo, config=SCHEDULED)
+    exists_session.execute(_RedCarQuery().exists())
+    exists_exh = QuerySession(video, zoo=zoo, config=EXHAUSTIVE)
+    exists_exh.execute(_RedCarQuery())
+
+    gated_calls = _detector_calls(sched_session)
+    exhaustive_calls = _detector_calls(exh_session)
+    exists_calls = _detector_calls(exists_session)
+    exists_exhaustive_calls = _detector_calls(exists_exh)
+    stats = sched_session.last_context.scan_stats
+
+    payload = {
+        "num_frames": video.num_frames,
+        "gated_workload": {
+            "detector_invocations_scheduled": gated_calls,
+            "detector_invocations_exhaustive": exhaustive_calls,
+            "reduction_x": round(exhaustive_calls / max(gated_calls, 1), 2),
+            "frames_gate_skipped": stats.leaf_frames_gated,
+            "simulated_ms_scheduled": round(sched_session.last_context.clock.elapsed_ms, 1),
+            "simulated_ms_exhaustive": round(exh_session.last_context.clock.elapsed_ms, 1),
+            "simulated_speedup_x": round(
+                exh_session.last_context.clock.elapsed_ms
+                / max(sched_session.last_context.clock.elapsed_ms, 1e-9),
+                2,
+            ),
+        },
+        "early_exit_workload": {
+            "detector_invocations_scheduled": exists_calls,
+            "detector_invocations_exhaustive": exists_exhaustive_calls,
+            "reduction_x": round(exists_exhaustive_calls / max(exists_calls, 1), 2),
+            "early_exit_frame": exists_session.last_context.scan_stats.early_exit_frame,
+        },
+    }
+    _emit_json("gating_early_exit", payload)
+
+    # CI guard: the scheduler must never do MORE detector work than the
+    # exhaustive baseline ...
+    assert gated_calls <= exhaustive_calls
+    assert exists_calls <= exists_exhaustive_calls
+    # ... and the acceptance bar: at least a 2x reduction on this workload.
+    assert exhaustive_calls >= 2 * gated_calls
+    assert exists_exhaustive_calls >= 2 * exists_calls
+
+
+def test_scheduler_identical_on_existing_workload(benchmark):
+    """The PR-1 mixed batch must produce identical results under the scheduler.
+
+    Car/Person queries carry no registered filters and no bounds, so the
+    adaptive scan has nothing to skip — but it must also change nothing:
+    matched frames, events (incl. incremental temporal pairing), and
+    aggregates all stay byte-identical to the exhaustive PR-1 scan.
+    """
+    video = camera_clip("jackson", duration_s=scaled(120.0, minimum=20.0), seed=5)
+    zoo = get_library_zoo()
+    batch = lambda: [
+        _RedCarQuery(),
+        _PersonQuery(),
+        DurationQuery(_RedCarQuery(), duration_s=2.0),
+        SequentialQuery(_RedCarQuery(), _PersonQuery(), max_gap_s=10),
+    ]
+
+    scheduled = benchmark.pedantic(
+        lambda: QuerySession(video, zoo=zoo, config=SCHEDULED).execute_many(batch()),
+        rounds=1,
+        iterations=1,
+    )
+    exhaustive = QuerySession(video, zoo=zoo, config=PIPELINE_FILTERS).execute_many(batch())
+
+    mismatches = 0
+    for sched, exh in zip(scheduled, exhaustive):
+        identical = (
+            sched.matched_frames == exh.matched_frames
+            and sched.events == exh.events
+            and sched.aggregates == exh.aggregates
+            and sched.matches == exh.matches
+        )
+        mismatches += 0 if identical else 1
+    _emit_json(
+        "result_identity",
+        {
+            "num_frames": video.num_frames,
+            "queries": [r.query_name for r in scheduled],
+            "mismatching_queries": mismatches,
+        },
+    )
+    assert mismatches == 0
+
+
+def test_parallel_multicamera_speedup(benchmark):
+    """Thread-pool per-feed execution vs serial feeds.
+
+    Every feed owns its execution context and simulated clock, so the
+    *simulated* makespan of the parallel run is the slowest single feed,
+    while the serial scan pays the sum of all feeds.  Wall-clock is
+    reported for reference (Python threads only help real model backends
+    that release the GIL).
+    """
+    duration = scaled(60.0, minimum=10.0)
+    zoo = get_library_zoo()
+    feeds = {
+        "jackson": camera_clip("jackson", duration_s=duration, seed=2),
+        "banff": camera_clip("banff", duration_s=duration, seed=1),
+        "jackson-2": camera_clip("jackson", duration_s=duration, seed=9),
+        "banff-2": camera_clip("banff", duration_s=duration, seed=4),
+    }
+    batch = lambda: [_RedCarQuery(), _PersonQuery()]
+
+    def run_parallel():
+        multi = MultiCameraSession(feeds, zoo=zoo, config=SCHEDULED)
+        wall_start = time.perf_counter()
+        merged = multi.execute_many(batch())
+        return multi, merged, time.perf_counter() - wall_start
+
+    multi, parallel_merged, parallel_wall_s = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    serial = MultiCameraSession(feeds, zoo=zoo, config=SCHEDULED, max_workers=1)
+    wall_start = time.perf_counter()
+    serial_merged = serial.execute_many(batch())
+    serial_wall_s = time.perf_counter() - wall_start
+
+    # The deterministic merge must be identical however the feeds executed.
+    for par, ser in zip(parallel_merged, serial_merged):
+        for name in feeds:
+            assert par.camera(name) == ser.camera(name)
+
+    per_feed_ms = {
+        name: session.last_context.clock.elapsed_ms for name, session in multi.sessions.items()
+    }
+    serial_ms = sum(per_feed_ms.values())
+    parallel_ms = max(per_feed_ms.values())
+    speedup = serial_ms / max(parallel_ms, 1e-9)
+    _emit_json(
+        "parallel_multicamera",
+        {
+            "feeds": len(feeds),
+            "per_feed_simulated_ms": {k: round(v, 1) for k, v in per_feed_ms.items()},
+            "simulated_makespan_serial_ms": round(serial_ms, 1),
+            "simulated_makespan_parallel_ms": round(parallel_ms, 1),
+            "simulated_speedup_x": round(speedup, 2),
+            "wall_clock_parallel_s": round(parallel_wall_s, 3),
+            "wall_clock_serial_s": round(serial_wall_s, 3),
+        },
+    )
+    assert speedup >= 1.5  # 4 similar feeds should approach 4x

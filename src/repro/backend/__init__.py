@@ -19,6 +19,7 @@ from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
 from repro.backend.results import Event, MatchRecord, MultiCameraResult, QueryResult
 from repro.backend.runtime import ExecutionContext, TrackState, VObjState
+from repro.backend.scheduler import FrameGate, ScanScheduler, ScanStats
 from repro.backend.session import MultiCameraSession, QuerySession
 from repro.backend.streaming import (
     DurationStream,
@@ -56,6 +57,9 @@ __all__ = [
     "ExecutionContext",
     "TrackState",
     "VObjState",
+    "FrameGate",
+    "ScanScheduler",
+    "ScanStats",
     "MultiCameraSession",
     "QuerySession",
     "DurationStream",

@@ -9,7 +9,13 @@ frame-by-frame over **one** :class:`VideoReader` scan with one shared
 :class:`ExecutionContext`, so detector, tracker, and property-model results
 are computed exactly once per (model, frame) — the paper's query-level
 computation reuse (§4.2, §5.3) — and per-frame caches are released in O(1)
-as soon as a frame has been fully processed.
+once a frame has aged out of every stream's lookback window.
+
+The scan itself is adaptive (:mod:`repro.backend.scheduler`): each plan's
+cheap frame filters are hoisted into a batch-level gate so rejected frames
+skip the detector/tracker/property pipeline per stream, bounded queries
+(``Query.bounded`` / ``Query.exists``) retire as soon as their answer is
+determined, and the scan terminates early once every stream is done.
 
 The sink enumerates bindings of the surviving objects, re-checks the full
 frame/video constraints (cheap — property values are already cached on the
@@ -28,6 +34,7 @@ from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
 from repro.backend.results import Event, MatchRecord, QueryResult
 from repro.backend.runtime import ExecutionContext
+from repro.backend.scheduler import ScanScheduler
 from repro.backend.streaming import (
     DurationStream,
     OnlineEventGrouper,
@@ -50,6 +57,8 @@ class Executor:
     # ------------------------------------------------------------- compilation --
     def compile(self, query: Query, video: SyntheticVideo, planner: Planner) -> QueryStream:
         """Compile any query (including higher-order compositions) to a stream."""
+        gated = self.config.enable_scan_gating
+        limit = self._stream_limit(query)
         if isinstance(query, TemporalQuery):
             min_gap, max_gap = query.gap_window_frames(video.fps)
             return TemporalStream(
@@ -58,15 +67,37 @@ class Executor:
                 self.compile(query.second, video, planner),
                 min_gap_frames=min_gap,
                 max_gap_frames=max_gap,
+                limit=limit,
             )
         if isinstance(query, DurationQuery):
-            base = PlanStream(planner.plan(query, video), self)
+            base = PlanStream(planner.plan(query, video), self, gated=gated)
             return DurationStream(
                 base,
                 required_frames=query.required_duration_frames(video.fps),
                 max_gap=query.max_gap_frames,
+                limit=limit,
             )
-        return PlanStream(planner.plan(query, video), self)
+        return PlanStream(planner.plan(query, video), self, gated=gated, limit=limit)
+
+    def _stream_limit(self, query: Query) -> Optional[int]:
+        """The query's result bound, when the stream can honour it.
+
+        The bound always shapes the result (finalize truncates to the first
+        ``limit`` matches/events); ``enable_early_exit`` only controls
+        whether the scheduler may additionally *retire* the stream mid-scan.
+        Aggregating queries (video outputs or a video-level constraint) need
+        the whole video regardless of any declared bound; temporal queries
+        are bounded on their *pairs*, which incremental pairing makes
+        decidable mid-scan.
+        """
+        limit = getattr(query, "limit", None)
+        if limit is None:
+            return None
+        if isinstance(query, TemporalQuery):
+            return limit
+        if query.video_outputs() or query.video_predicate() is not TRUE:
+            return None
+        return limit
 
     # ------------------------------------------------------------------ plans --
     def execute_plan(self, plan: QueryPlan, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
@@ -77,30 +108,33 @@ class Executor:
         self, plans: Sequence[QueryPlan], video: SyntheticVideo, ctx: ExecutionContext
     ) -> List[QueryResult]:
         """Execute several pre-built plans in one pass, sharing computations."""
-        return self.execute_streams([PlanStream(plan, self) for plan in plans], video, ctx)
+        gated = self.config.enable_scan_gating
+        return self.execute_streams(
+            [PlanStream(plan, self, gated=gated) for plan in plans], video, ctx
+        )
 
     # ---------------------------------------------------------------- streams --
     def execute_streams(
         self, streams: Sequence[QueryStream], video: SyntheticVideo, ctx: ExecutionContext
     ) -> List[QueryResult]:
-        """Advance all streams through one scan of the video, then finalize."""
+        """Advance all streams through one adaptive scan, then finalize."""
         if not streams:
             return []
+        scheduler = ScanScheduler(
+            streams,
+            ctx,
+            gating=self.config.enable_scan_gating,
+            early_exit=self.config.enable_early_exit,
+        )
+        ctx.scan_stats = scheduler.stats
         leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
         reader = VideoReader(video, batch_size=self.config.batch_size, clock=ctx.clock)
         start_snapshot = ctx.clock.snapshot()
 
-        for batch in reader.batches():
-            for frame in batch:
-                frame_start = ctx.clock.snapshot()
-                for leaf in leaves:
-                    leaf.process_frame(frame, ctx)
-                per_leaf_ms = ctx.clock.since(frame_start) / max(len(leaves), 1)
-                for leaf in leaves:
-                    leaf.result.per_frame_ms.append(per_leaf_ms)
-                for stream in streams:
-                    stream.observe_frame(frame.frame_id)
-                ctx.release_frame(frame.frame_id)
+        for frame in reader:
+            if not scheduler.step(frame):
+                break
+        scheduler.drain()
 
         total = ctx.clock.since(start_snapshot)
         for leaf in leaves:

@@ -21,6 +21,7 @@ from repro.backend.runtime import ExecutionContext
 from repro.frontend.expr import Environment, Predicate
 from repro.frontend.relation import Relation
 from repro.frontend.vobj import Scene, VObj
+from repro.models.framefilters import evaluate_frame_filter
 
 #: Virtual per-frame overhead of running one (unfused) operator.
 OPERATOR_OVERHEAD_MS = 0.02
@@ -72,11 +73,7 @@ class FrameFilterOp(Operator):
 
     def process(self, graph: FrameGraph, ctx: ExecutionContext) -> FrameGraph:
         model = ctx.model(self.model_name)
-        if hasattr(model, "keep"):
-            keep = model.keep(graph.frame, ctx.clock)
-        else:  # binary classifiers expose predict()
-            keep = model.predict(graph.frame, ctx.clock)
-        if not keep:
+        if not evaluate_frame_filter(model, graph.frame, ctx.clock):
             graph.dropped = True
         return graph
 

@@ -39,6 +39,18 @@ class QueryPlan:
     def operators(self) -> List[Operator]:
         """The flattened execution order: filters, branches, join, post-join."""
         ops: List[Operator] = list(self.frame_filters)
+        ops.extend(self.pipeline_operators())
+        return ops
+
+    def pipeline_operators(self) -> List[Operator]:
+        """Execution order *without* the frame-filter prefix.
+
+        The scan scheduler hoists :attr:`frame_filters` into its batch-level
+        gate (one evaluation per distinct filter model per frame for the
+        whole batch); gated :class:`~repro.backend.streaming.PlanStream`\\ s
+        run only this remainder.
+        """
+        ops: List[Operator] = []
         for branch_ops in self.branches.values():
             ops.extend(branch_ops)
         ops.append(self.join_operator())

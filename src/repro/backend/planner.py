@@ -70,10 +70,20 @@ class PlannerConfig:
     canary_frames: int = 40
     #: Minimum acceptable F1 (relative to the most-general plan) for a candidate.
     accuracy_target: float = 0.9
-    #: Frame batch size used by the executor.
+    #: Frame batch size for VideoReader.batches() consumers.  The adaptive
+    #: scan scheduler decides per frame (so early exit stops at the exact
+    #: determining frame) and therefore ignores this; bulk decode paths and
+    #: baselines still honour it.
     batch_size: int = 8
     #: Minimum detection score for an object to enter the pipeline.
     min_score: float = 0.0
+    #: Hoist each plan's frame filters into the scan scheduler's batch-level
+    #: gate: one evaluation per distinct filter model per frame, per-stream
+    #: skip masks (off = PR-1 behaviour, filters inside every pipeline).
+    enable_scan_gating: bool = True
+    #: Let bounded queries (``Query.bounded`` / ``Query.exists``) retire
+    #: mid-scan and stop the scan once every stream's answer is determined.
+    enable_early_exit: bool = True
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
@@ -208,10 +218,19 @@ class Planner:
 
     # ------------------------------------------------------------ plan variants --
     def _registered_frame_filters(self, analysis: QueryAnalysis) -> List[Operator]:
+        """One FrameFilterOp per distinct registered filter model.
+
+        Two variables registering the same filter (e.g. both are RedCars)
+        yield a single operator: the scan scheduler's gate memoises per
+        (frame, model) anyway, and duplicate ops would only re-drop an
+        already-dropped frame.
+        """
         ops: List[Operator] = []
+        seen: set = set()
         for info in analysis.variables:
             for spec in info.vobj_type.registered_filters():
-                if spec.model and spec.model in self.zoo:
+                if spec.model and spec.model in self.zoo and spec.model not in seen:
+                    seen.add(spec.model)
                     ops.append(FrameFilterOp(spec.name, spec.model))
         return ops
 
@@ -246,6 +265,8 @@ class Planner:
         frame_filters = self._registered_frame_filters(analysis) if with_filters else []
         if frame_filters:
             notes.append("registered frame filters: " + ", ".join(op.name for op in frame_filters))
+            if self.config.enable_scan_gating:
+                notes.append("frame filters hoisted to the scan scheduler's batch gate")
         if self.config.enable_lazy:
             notes.append("predicate pull-up")
         if self.config.enable_fusion:

@@ -37,10 +37,19 @@ class Event:
     end_frame: int
     signature: Tuple[Tuple[str, Optional[int]], ...] = ()
     label: str = ""
+    #: Frames inside [start_frame, end_frame] that the scan scheduler's
+    #: frame-filter gate skipped (never ran detectors on).  The reported
+    #: range stays contiguous; this records where it was sampled.
+    skipped_frames: Tuple[int, ...] = ()
 
     @property
     def num_frames(self) -> int:
         return self.end_frame - self.start_frame + 1
+
+    @property
+    def num_observed_frames(self) -> int:
+        """Frames in the range that were actually inspected (not gate-skipped)."""
+        return self.num_frames - len(self.skipped_frames)
 
 
 @dataclass

@@ -325,6 +325,10 @@ class ExecutionContext:
         self.reuse_enabled = reuse_enabled
         self.frame_rate = video.fps
         self.reuse_stats = ReuseStats()
+        #: Filled by the executor with the scan scheduler's ScanStats for
+        #: the most recent scan over this context (frames gated, streams
+        #: retired, early-exit frame); None before any scan ran.
+        self.scan_stats: Optional[Any] = None
 
         # Per-frame caches are indexed by frame id first, so releasing a
         # frame pops one bucket in O(1) instead of rebuilding whole dicts.

@@ -1,0 +1,193 @@
+"""The adaptive scan scheduler: decide, per frame, what work the scan needs.
+
+The PR-1 streaming executor made every query in a batch share one video
+scan, but the scan itself was exhaustive: every stream touched every frame,
+and the scan always ran to the end of the video.  This module adds the
+scheduling layer on top of the shared scan (paper §4.1/§4.4 — cheap frame
+filters ahead of detectors; §4.2/§5.3 — cross-query reuse):
+
+* :class:`FrameGate` — the batch-level frame-filter gate.  Each stream's
+  registered cheap frame filters (motion / texture / binary classifiers)
+  are hoisted out of its operator pipeline; the gate evaluates each
+  distinct filter model **once per frame for the whole batch** and hands
+  every leaf its own skip decision.  Skip masks are per-stream, not global:
+  a stream without filters still sees every frame, preserving per-query
+  semantics.
+* :class:`ScanScheduler` — drives the per-frame loop: runs or skips each
+  leaf pipeline, retires streams whose ``done()`` protocol reports their
+  answer is determined (existence / top-k bounds), stops the scan entirely
+  when every stream is done, and releases per-frame caches only once a
+  frame has aged out of the widest lookback window any active stream still
+  needs (so gating never strands duration/temporal lookback state).
+
+The scheduler is pure orchestration: all per-frame computation still lives
+in the operator pipelines and the execution context's shared caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend.operators import OPERATOR_OVERHEAD_MS
+from repro.backend.runtime import ExecutionContext
+from repro.backend.streaming import PlanStream, QueryStream
+from repro.models.framefilters import evaluate_frame_filter
+from repro.videosim.video import Frame
+
+
+@dataclass
+class ScanStats:
+    """Counters describing what the scheduler skipped, gated, and retired."""
+
+    #: Frames the scan actually decoded and stepped through.
+    frames_scanned: int = 0
+    #: (leaf, frame) pipeline executions.
+    leaf_frames_processed: int = 0
+    #: (leaf, frame) pairs skipped because the leaf's gate rejected the frame.
+    leaf_frames_gated: int = 0
+    #: Frame-filter model invocations performed by the gate.
+    gate_evaluations: int = 0
+    #: Gate decisions served from the per-frame memo instead of re-running
+    #: the filter model (the cross-stream sharing the per-plan pipelines lost).
+    gate_cache_hits: int = 0
+    #: Streams retired before the end of the scan (answer fully determined).
+    streams_retired: int = 0
+    #: Frame id at which the whole scan stopped early (None = ran to the end).
+    early_exit_frame: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class FrameGate:
+    """Batch-level, per-frame-memoised evaluation of cheap frame filters.
+
+    The per-plan pipelines of PR 1 evaluated a plan's frame filters once per
+    (plan, frame) — two queries sharing the ``no_red_on_road`` classifier
+    paid for it twice on every frame.  The gate keys decisions by
+    (frame, filter model) so each distinct model runs once per frame; a
+    leaf's filters are still checked in plan order with short-circuiting,
+    matching the in-pipeline semantics for any single plan.
+    """
+
+    def __init__(self, ctx: ExecutionContext, stats: ScanStats) -> None:
+        self.ctx = ctx
+        self.stats = stats
+        #: frame_id -> {filter model name -> keep decision}.
+        self._decisions: Dict[int, Dict[str, bool]] = {}
+
+    def admits(self, leaf: PlanStream, frame: Frame) -> bool:
+        """True when every filter of the leaf's plan keeps the frame."""
+        filters = leaf.gate_filters
+        if not filters:
+            return True
+        per_frame = self._decisions.setdefault(frame.frame_id, {})
+        for op in filters:
+            decision = per_frame.get(op.model_name)
+            if decision is None:
+                # Charge the same per-operator overhead the in-pipeline
+                # FrameFilterOp would have, so single-plan cost accounting
+                # (and canary profiling) is unchanged by the hoist.
+                self.ctx.clock.charge("operator_overhead", OPERATOR_OVERHEAD_MS)
+                model = self.ctx.model(op.model_name)
+                decision = evaluate_frame_filter(model, frame, self.ctx.clock)
+                per_frame[op.model_name] = decision
+                self.stats.gate_evaluations += 1
+            else:
+                self.stats.gate_cache_hits += 1
+            if not decision:
+                return False
+        return True
+
+    def release_frame(self, frame_id: int) -> None:
+        """Drop the frame's memoised decisions (O(1))."""
+        self._decisions.pop(frame_id, None)
+
+
+class ScanScheduler:
+    """Advances a batch of query streams through a shared scan, adaptively.
+
+    Per frame the scheduler (1) consults the :class:`FrameGate` so leaves
+    whose filters reject the frame skip their detector/tracker/property
+    pipeline entirely, (2) advances the composition layers, (3) retires
+    streams that report ``done()``, and (4) releases per-frame caches that
+    have aged out of every active stream's lookback window.  ``step``
+    returns False when no active stream remains, which terminates the scan.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[QueryStream],
+        ctx: ExecutionContext,
+        gating: bool = True,
+        early_exit: bool = True,
+    ) -> None:
+        self.streams = list(streams)
+        self.ctx = ctx
+        self.early_exit = early_exit
+        self.stats = ScanStats()
+        self.gate: Optional[FrameGate] = FrameGate(ctx, self.stats) if gating else None
+        self._active: List[QueryStream] = list(self.streams)
+        self._active_leaves: List[PlanStream] = [
+            leaf for stream in self._active for leaf in stream.plan_streams()
+        ]
+        #: Widest lookback any stream needs: frames younger than this may
+        #: still feed duration/temporal grouping and must not be evicted.
+        self.lookback = max((s.lookback_frames() for s in self.streams), default=0)
+        self._release_cursor = 0
+        self._last_frame_id: Optional[int] = None
+
+    @property
+    def active_streams(self) -> List[QueryStream]:
+        return list(self._active)
+
+    def step(self, frame: Frame) -> bool:
+        """Process one frame; returns False when the scan should stop."""
+        ctx = self.ctx
+        self._last_frame_id = frame.frame_id
+        leaves = self._active_leaves
+        frame_start = ctx.clock.snapshot()
+        for leaf in leaves:
+            if self.gate is not None and not self.gate.admits(leaf, frame):
+                leaf.skip_frame(frame)
+                self.stats.leaf_frames_gated += 1
+            else:
+                leaf.process_frame(frame, ctx)
+                self.stats.leaf_frames_processed += 1
+        per_leaf_ms = ctx.clock.since(frame_start) / max(len(leaves), 1)
+        for leaf in leaves:
+            leaf.result.per_frame_ms.append(per_leaf_ms)
+        for stream in self._active:
+            stream.observe_frame(frame.frame_id)
+        self.stats.frames_scanned += 1
+        self._release_through(frame.frame_id - self.lookback)
+        if self.early_exit:
+            self._retire_done()
+            if not self._active:
+                self.stats.early_exit_frame = frame.frame_id
+                return False
+        return True
+
+    def drain(self) -> None:
+        """Release the frames still held back by the retention window."""
+        if self._last_frame_id is not None:
+            self._release_through(self._last_frame_id)
+
+    # -- internals --------------------------------------------------------------
+    def _release_through(self, horizon: int) -> None:
+        """Evict caches for every unreleased frame id up to ``horizon``."""
+        while self._release_cursor <= horizon:
+            self.ctx.release_frame(self._release_cursor)
+            if self.gate is not None:
+                self.gate.release_frame(self._release_cursor)
+            self._release_cursor += 1
+
+    def _retire_done(self) -> None:
+        still_active = [s for s in self._active if not s.done()]
+        if len(still_active) != len(self._active):
+            self.stats.streams_retired += len(self._active) - len(still_active)
+            self._active = still_active
+            self._active_leaves = [
+                leaf for stream in still_active for leaf in stream.plan_streams()
+            ]

@@ -24,6 +24,8 @@ the per-feed results deterministically.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.backend.executor import Executor
@@ -102,20 +104,22 @@ class QuerySession:
         videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
         queries: Sequence[Query],
         include_self: bool = True,
+        max_workers: Optional[int] = None,
     ) -> List[MultiCameraResult]:
         """Shard the query set across several feeds and merge the results.
 
         ``videos`` may be a name -> video mapping or a plain sequence (feeds
         are then named by their spec).  With ``include_self`` (the default)
-        the session's own video runs first, ahead of the extra feeds.  Each
+        the session's own video comes first, ahead of the extra feeds.  Each
         feed gets its own execution context but performs the same
-        single-pass batched execution as :meth:`execute_many`.
+        single-pass batched execution as :meth:`execute_many`; feeds run
+        concurrently (``max_workers=1`` forces serial execution).
         """
         feeds = _named_feeds(videos)
         if include_self:
             own = _unique_name(self.video.spec.name, feeds)
             feeds = {own: self.video, **feeds}
-        multi = MultiCameraSession(feeds, zoo=self.zoo, config=self.config)
+        multi = MultiCameraSession(feeds, zoo=self.zoo, config=self.config, max_workers=max_workers)
         results = multi.execute_many(queries)
         # Reporting follows the most recent execution: keep the multi session
         # reachable (per-feed costs) and stop pointing at a stale context.
@@ -146,8 +150,11 @@ class MultiCameraSession:
 
     One :class:`QuerySession` is kept per feed, all sharing the same model
     zoo and planner configuration; each feed's batch still executes as one
-    streaming pass.  Feeds are processed in insertion order, so merged
-    results are deterministic.
+    streaming pass.  Feeds execute **concurrently** on a thread pool — every
+    feed has its own execution context, simulated clock, and (fresh) model
+    instances, so per-feed results are bit-identical to a serial run — and
+    results are merged in feed insertion order, so the merge stays
+    deterministic regardless of completion order.
     """
 
     def __init__(
@@ -155,12 +162,16 @@ class MultiCameraSession:
         videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
         zoo: Optional[ModelZoo] = None,
         config: Optional[PlannerConfig] = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         feeds = _named_feeds(videos)
         if not feeds:
             raise ValueError("MultiCameraSession needs at least one video feed")
         self.zoo = zoo or get_library_zoo()
         self.config = config or PlannerConfig()
+        #: Thread-pool width for per-feed execution; None sizes to the feed
+        #: count (capped by the CPU count), 1 forces serial execution.
+        self.max_workers = max_workers
         self.sessions: Dict[str, QuerySession] = {
             name: QuerySession(video, zoo=self.zoo, config=self.config)
             for name, video in feeds.items()
@@ -170,16 +181,29 @@ class MultiCameraSession:
     def cameras(self) -> List[str]:
         return list(self.sessions)
 
+    def _worker_count(self) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, min(len(self.sessions), os.cpu_count() or 1))
+
     def execute(self, query: Query) -> MultiCameraResult:
         """Execute one query across every feed."""
         return self.execute_many([query])[0]
 
     def execute_many(self, queries: Sequence[Query]) -> List[MultiCameraResult]:
-        """Execute a query batch across every feed (one pass per feed)."""
+        """Execute a query batch across every feed (one parallel pass per feed)."""
         queries = list(queries)
         merged = [MultiCameraResult(query_name=q.query_name) for q in queries]
-        for name, session in self.sessions.items():
-            for result, holder in zip(session.execute_many(queries), merged):
+        names = list(self.sessions)
+        workers = self._worker_count()
+        if workers <= 1 or len(names) <= 1:
+            per_feed = [self.sessions[name].execute_many(queries) for name in names]
+        else:
+            with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="camera-feed") as pool:
+                futures = [pool.submit(self.sessions[name].execute_many, queries) for name in names]
+                per_feed = [future.result() for future in futures]
+        for name, results in zip(names, per_feed):
+            for result, holder in zip(results, merged):
                 holder.per_camera[name] = result
         return merged
 

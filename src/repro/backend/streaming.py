@@ -9,14 +9,30 @@ incremental composition operators:
   its base stream's per-frame match signatures (via
   :class:`OnlineEventGrouper`), so duration filtering no longer needs a
   second pass over the video;
-* :class:`TemporalStream` collects the events its two sub-streams close
-  during the scan and pairs those occurring in order within the time window.
+* :class:`TemporalStream` pairs the events its two sub-streams close *as
+  they close* during the scan: windowed pairing is fully incremental, its
+  candidate buffers are pruned against watermarks derived from the
+  sub-streams' open runs, and bounded queries can therefore retire before
+  the video ends.
 
 Because every stream in a batch advances frame-by-frame against the same
 :class:`~repro.backend.runtime.ExecutionContext`, detector, tracker, and
 property-model results are computed exactly once per (model, frame) — the
 paper's query-level computation reuse (§4.2, §5.3) now extends to
 higher-order queries instead of being silently lost after the batched scan.
+
+Streams additionally speak the adaptive scan scheduler's protocol
+(:mod:`repro.backend.scheduler`):
+
+* ``done()`` — existence-style and top-k-bounded queries report when their
+  answer is determined, so the scheduler can retire them from the batch
+  (and stop the scan entirely once every stream is done);
+* ``skip_frame()`` / ``OnlineEventGrouper.mark_skipped()`` — frames rejected
+  by the batch-level frame-filter gate are accounted without running the
+  pipeline, and closed events are labelled with the gate-skipped frames
+  inside their range;
+* ``lookback_frames()`` — how many recent frames a stream may still need,
+  which bounds how eagerly the scheduler may evict per-frame caches.
 """
 
 from __future__ import annotations
@@ -40,6 +56,13 @@ class OnlineEventGrouper:
     extend the open run; larger gaps close the run (dropping it when shorter
     than ``min_length``) and start a new one.  Runs still open when the video
     ends are closed by :meth:`finish`.
+
+    Consumers that need events *during* the scan (incremental temporal
+    pairing, early-exit decisions) use :meth:`drain`, which hands out each
+    closed event exactly once, in close order.  Frames the scan scheduler's
+    gate skipped are recorded via :meth:`mark_skipped` and attached to the
+    closed events whose range contains them, so reported event ranges stay
+    contiguous while being honest about sampling.
     """
 
     def __init__(self, max_gap: int = 5, min_length: int = 1, label: str = "") -> None:
@@ -49,6 +72,12 @@ class OnlineEventGrouper:
         #: signature -> (start_frame, last_seen_frame) of the open run.
         self._open: Dict[Tuple, Tuple[int, int]] = {}
         self._closed: List[Event] = []
+        #: Closed events not yet handed out by :meth:`drain` (close order).
+        self._pending: List[Event] = []
+        #: ``finish``'s presentation-sorted view of ``_closed`` (memoised).
+        self._ordered: List[Event] = []
+        #: Gate-skipped frames that may still fall inside an open run.
+        self._skipped: List[int] = []
         self._finished = False
 
     def observe(self, frame_id: int, signatures: Iterable[Tuple]) -> None:
@@ -60,6 +89,15 @@ class OnlineEventGrouper:
         ]
         for signature in expired:
             self._close(signature)
+        if self._skipped:
+            # A skipped frame only matters while some open run can still
+            # cover it; anything older than every possible run start is dead.
+            horizon = min(
+                (start for start, _ in self._open.values()),
+                default=frame_id - self.max_gap,
+            )
+            if self._skipped[0] < horizon:
+                self._skipped = [f for f in self._skipped if f >= horizon]
         for signature in signatures:
             run = self._open.get(signature)
             if run is None:
@@ -67,25 +105,83 @@ class OnlineEventGrouper:
             else:
                 self._open[signature] = (run[0], frame_id)
 
+    def mark_skipped(self, frame_id: int) -> None:
+        """Record that the scan scheduler's gate skipped ``frame_id``."""
+        self._skipped.append(frame_id)
+
     def _close(self, signature: Tuple) -> None:
         start, last = self._open.pop(signature)
         if last - start + 1 >= self.min_length:
-            self._closed.append(
-                Event(start_frame=start, end_frame=last, signature=signature, label=self.label)
+            event = Event(
+                start_frame=start,
+                end_frame=last,
+                signature=signature,
+                label=self.label,
+                skipped_frames=tuple(f for f in self._skipped if start <= f <= last),
             )
+            self._closed.append(event)
+            self._pending.append(event)
+
+    @property
+    def num_closed(self) -> int:
+        """Events closed so far (drives top-k early-exit decisions)."""
+        return len(self._closed)
+
+    def closed_in_order(self, k: int) -> List[Event]:
+        """The first ``k`` events in *close* order (top-k bound semantics).
+
+        A bounded query is done when its ``k``-th run closes, so its answer
+        is exactly these events — stable whether the scan then stopped or
+        ran on (``finish`` force-closes surviving runs *after* them, and a
+        start-frame-sorted cut could wrongly prefer such a truncated run).
+        """
+        return self._closed[:k]
+
+    def drain(self) -> List[Event]:
+        """Events closed since the previous drain, in close order."""
+        out, self._pending = self._pending, []
+        return out
+
+    # -- watermarks (bounds on events this grouper may still close) -----------
+    def start_watermark(self, frame_id: int) -> int:
+        """Lower bound on the start frame of any event still to close."""
+        return min((start for start, _ in self._open.values()), default=frame_id + 1)
+
+    def end_watermark(self, frame_id: int) -> int:
+        """Lower bound on the end frame of any event still to close."""
+        return min((last for _, last in self._open.values()), default=frame_id + 1)
 
     def finish(self) -> List[Event]:
-        """Close the remaining runs and return all events, ordered."""
+        """Close the remaining runs and return all events, ordered.
+
+        ``_closed`` itself stays in close order (``closed_in_order`` relies
+        on it); the sorted presentation view is built once here.
+        """
         if not self._finished:
             for signature in list(self._open):
                 self._close(signature)
-            self._closed.sort(key=lambda e: (e.start_frame, e.end_frame))
+            self._ordered = sorted(self._closed, key=lambda e: (e.start_frame, e.end_frame))
             self._finished = True
-        return self._closed
+        return self._ordered
+
+
+def _stream_query_name(stream: "QueryStream") -> str:
+    """Best-effort query name of a stream (for paired-event labels)."""
+    name = getattr(stream, "query_name", None)
+    if name:
+        return name
+    result = getattr(stream, "result", None)
+    return result.query_name if result is not None else ""
 
 
 class QueryStream(ABC):
-    """A compiled query: leaf operator pipelines plus incremental composition."""
+    """A compiled query: leaf operator pipelines plus incremental composition.
+
+    Besides the three core hooks (:meth:`plan_streams`, :meth:`observe_frame`,
+    :meth:`finalize`), streams speak the scan scheduler's protocol; the base
+    class provides conservative defaults (never done, no lookback, no events
+    closing during the scan) so simple stream implementations keep working.
+    """
 
     @abstractmethod
     def plan_streams(self) -> List["PlanStream"]:
@@ -99,6 +195,27 @@ class QueryStream(ABC):
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         """Flush open state and produce the stream's :class:`QueryResult`."""
 
+    # -- scan-scheduler protocol ------------------------------------------------
+    def done(self) -> bool:
+        """True when the stream's answer is fully determined (early exit)."""
+        return False
+
+    def lookback_frames(self) -> int:
+        """How many recent frames this stream may still need cached."""
+        return 0
+
+    def drain_events(self) -> List[Event]:
+        """Events this stream closed since the last drain (close order)."""
+        return []
+
+    def min_future_event_start(self, frame_id: int) -> int:
+        """Lower bound on the start frame of any event still to be closed."""
+        return frame_id + 1
+
+    def min_future_event_end(self, frame_id: int) -> int:
+        """Lower bound on the end frame of any event still to be closed."""
+        return frame_id + 1
+
 
 class PlanStream(QueryStream):
     """One operator pipeline fed frame-by-frame, accumulating its result.
@@ -107,14 +224,35 @@ class PlanStream(QueryStream):
     via :meth:`event_stream`; the grouper then consumes this stream's match
     signatures as frames are processed, and the finalized result carries the
     grouped events.
+
+    With ``gated=True`` the plan's frame filters are *not* run inside the
+    pipeline: they are exposed via :attr:`gate_filters` for the scan
+    scheduler's batch-level :class:`~repro.backend.scheduler.FrameGate`,
+    which evaluates each distinct filter model once per frame for the whole
+    batch and calls :meth:`skip_frame` on every leaf whose gate rejects it.
     """
 
-    def __init__(self, plan: QueryPlan, executor) -> None:
+    def __init__(
+        self,
+        plan: QueryPlan,
+        executor,
+        gated: bool = False,
+        limit: Optional[int] = None,
+    ) -> None:
         self.plan = plan
         self.executor = executor
-        self.operators = plan.operators()
+        self.gated = gated
+        #: Frame-filter operators hoisted out of the pipeline (gated mode).
+        self.gate_filters = list(plan.frame_filters) if gated else []
+        self.operators = plan.pipeline_operators() if gated else plan.operators()
+        #: Result bound for early exit (None = unbounded).
+        self.limit = limit
         self.result = QueryResult(query_name=plan.query_name, plan_variant=plan.variant)
         self._grouper: Optional[OnlineEventGrouper] = None
+
+    @property
+    def query_name(self) -> str:
+        return self.plan.query_name
 
     def event_stream(self, max_gap: int = 5, min_length: int = 1) -> OnlineEventGrouper:
         """Attach the grouper deriving events from this stream's matches."""
@@ -136,14 +274,52 @@ class PlanStream(QueryStream):
         self.executor._sink(self.plan.analysis, graph, ctx, self.result)
         self.result.num_frames_processed += 1
 
+    def skip_frame(self, frame: Frame) -> None:
+        """Account a gate-rejected frame without running the pipeline."""
+        if self._grouper is not None:
+            self._grouper.mark_skipped(frame.frame_id)
+        self.result.num_frames_processed += 1
+
     def observe_frame(self, frame_id: int) -> None:
         if self._grouper is not None:
             records = self.result.matches.get(frame_id, ())
             self._grouper.observe(frame_id, (r.signature for r in records))
 
+    # -- scan-scheduler protocol ------------------------------------------------
+    def done(self) -> bool:
+        return self.limit is not None and len(self.result.matched_frames) >= self.limit
+
+    def lookback_frames(self) -> int:
+        return self._grouper.max_gap if self._grouper is not None else 0
+
+    def drain_events(self) -> List[Event]:
+        return self._grouper.drain() if self._grouper is not None else []
+
+    def min_future_event_start(self, frame_id: int) -> int:
+        if self._grouper is None:
+            return frame_id + 1
+        return self._grouper.start_watermark(frame_id)
+
+    def min_future_event_end(self, frame_id: int) -> int:
+        if self._grouper is None:
+            return frame_id + 1
+        return self._grouper.end_watermark(frame_id)
+
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         if self._grouper is not None:
             self.result.events = self._grouper.finish()
+        if self.limit is not None:
+            kept = self.result.matched_frames[: self.limit]
+            self.result.matched_frames = kept
+            # Keep the per-frame records consistent with the bound: without
+            # early exit the scan still covers the whole video, and matches
+            # beyond the limit-th frame must not leak into num_matches.
+            keep = set(kept)
+            self.result.matches = {
+                frame_id: records
+                for frame_id, records in self.result.matches.items()
+                if frame_id in keep
+            }
         return self.result
 
 
@@ -153,12 +329,26 @@ class DurationStream(QueryStream):
     The base plan's matches are grouped online into per-object runs; at
     finalization the qualifying runs become the result's events and the
     matched frames are restricted to frames covered by a qualifying run.
+    Because the grouper enforces ``min_length`` as runs close, a bounded
+    duration query is *done* the moment its ``limit``-th qualifying run
+    closes — long before finalize.
     """
 
-    def __init__(self, base: PlanStream, required_frames: int, max_gap: int) -> None:
+    def __init__(
+        self,
+        base: PlanStream,
+        required_frames: int,
+        max_gap: int,
+        limit: Optional[int] = None,
+    ) -> None:
         self.base = base
         self.required_frames = required_frames
+        self.limit = limit
         self.grouper = base.event_stream(max_gap=max_gap, min_length=required_frames)
+
+    @property
+    def query_name(self) -> str:
+        return self.base.plan.query_name
 
     def plan_streams(self) -> List[PlanStream]:
         return self.base.plan_streams()
@@ -166,12 +356,45 @@ class DurationStream(QueryStream):
     def observe_frame(self, frame_id: int) -> None:
         self.base.observe_frame(frame_id)
 
+    # -- scan-scheduler protocol ------------------------------------------------
+    def done(self) -> bool:
+        return self.limit is not None and self.grouper.num_closed >= self.limit
+
+    def lookback_frames(self) -> int:
+        return self.grouper.max_gap
+
+    def drain_events(self) -> List[Event]:
+        return self.grouper.drain()
+
+    def min_future_event_start(self, frame_id: int) -> int:
+        return self.grouper.start_watermark(frame_id)
+
+    def min_future_event_end(self, frame_id: int) -> int:
+        return self.grouper.end_watermark(frame_id)
+
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         result = self.base.finalize(video, ctx)
+        if self.limit is not None:
+            # "First `limit` runs to close" — the answer done() determined.
+            # finish() also force-closes runs cut short by an early exit;
+            # a start-frame-sorted [:limit] could let such a truncated run
+            # displace a qualifying one, so cut in close order and only
+            # then sort for presentation.
+            chosen = self.grouper.closed_in_order(self.limit)
+            result.events = sorted(chosen, key=lambda e: (e.start_frame, e.end_frame))
         qualifying: set = set()
         for event in result.events:
             qualifying.update(range(event.start_frame, event.end_frame + 1))
         result.matched_frames = sorted(set(result.matched_frames) & qualifying)
+        if self.limit is not None:
+            # Per-frame records must match the bounded answer: frames of the
+            # chosen events were all processed before the limit-th close, so
+            # this cut is identical with early exit on or off.
+            result.matches = {
+                frame_id: records
+                for frame_id, records in result.matches.items()
+                if frame_id in qualifying
+            }
         result.aggregates.setdefault("num_events", len(result.events))
         result.aggregate_kinds.setdefault("num_events", "count")
         return result
@@ -180,11 +403,20 @@ class DurationStream(QueryStream):
 class TemporalStream(QueryStream):
     """Windowed event pairing over two sub-streams sharing the same scan.
 
-    Both children advance on every frame; their closed events are paired at
-    finalization: a (first, second) pair matches when the second event starts
-    between ``min_gap`` and ``max_gap`` frames after the first event ends.
-    The paired event spans the *full* range from the first event's start to
-    the second event's end — including the in-between gap frames.
+    Both children advance on every frame.  Pairing is *fully incremental*:
+    as either child closes an event, it is checked against the buffered
+    events of the other side, and a (first, second) pair is emitted when the
+    second event starts between ``min_gap`` and ``max_gap`` frames after the
+    first event ends.  The paired event spans the *full* range from the
+    first event's start to the second event's end — including the
+    in-between gap frames.
+
+    The candidate buffers are pruned against the children's event
+    watermarks (the earliest start/end any still-open run could produce),
+    which caps their size at the events alive inside the pairing window.
+    Incremental pairing is also what makes :meth:`done` decidable: a
+    top-k-bounded temporal query retires the moment its ``limit``-th pair
+    forms, instead of waiting for finalize.
     """
 
     def __init__(
@@ -194,17 +426,30 @@ class TemporalStream(QueryStream):
         second: QueryStream,
         min_gap_frames: int,
         max_gap_frames: int,
+        limit: Optional[int] = None,
     ) -> None:
         self.query_name = query_name
         self.first = first
         self.second = second
         self.min_gap_frames = min_gap_frames
         self.max_gap_frames = max_gap_frames
+        self.limit = limit
         # Plan-backed children expose their matches as an event stream with
         # the default grouping parameters (mirroring extract_events defaults).
         for child in (self.first, self.second):
             if isinstance(child, PlanStream):
                 child.event_stream()
+        #: Closed events still eligible to pair with a future partner.
+        self._first_buf: List[Event] = []
+        self._second_buf: List[Event] = []
+        #: Every event ever ingested per side (guards finalize against
+        #: re-ingesting events that already paired during the scan).
+        self._seen_first: set = set()
+        self._seen_second: set = set()
+        #: (first, second, paired) triples, in pair-formation order.
+        self._pairs: List[Tuple[Event, Event, Event]] = []
+        #: Paired events not yet drained by an enclosing TemporalStream.
+        self._pending_pairs: List[Event] = []
 
     def plan_streams(self) -> List[PlanStream]:
         return self.first.plan_streams() + self.second.plan_streams()
@@ -212,26 +457,131 @@ class TemporalStream(QueryStream):
     def observe_frame(self, frame_id: int) -> None:
         self.first.observe_frame(frame_id)
         self.second.observe_frame(frame_id)
+        self._ingest(self.first.drain_events(), self.second.drain_events())
+        self._prune_buffers(frame_id)
+
+    # -- incremental pairing ----------------------------------------------------
+    def _ingest(self, new_first: Iterable[Event], new_second: Iterable[Event]) -> None:
+        """Pair newly closed events against the opposite side's buffer.
+
+        New firsts are buffered before new seconds are checked, so a pair
+        whose two events close on the same frame is still found — and found
+        exactly once.
+        """
+        for ev_a in new_first:
+            if ev_a in self._seen_first:
+                continue
+            self._seen_first.add(ev_a)
+            for ev_b in self._second_buf:
+                self._try_pair(ev_a, ev_b)
+            self._first_buf.append(ev_a)
+        for ev_b in new_second:
+            if ev_b in self._seen_second:
+                continue
+            self._seen_second.add(ev_b)
+            for ev_a in self._first_buf:
+                self._try_pair(ev_a, ev_b)
+            self._second_buf.append(ev_b)
+
+    def _try_pair(self, ev_a: Event, ev_b: Event) -> None:
+        gap = ev_b.start_frame - ev_a.end_frame
+        if self.min_gap_frames <= gap <= self.max_gap_frames:
+            paired = Event(
+                start_frame=ev_a.start_frame,
+                end_frame=ev_b.end_frame,
+                signature=ev_a.signature + ev_b.signature,
+                label=f"{_stream_query_name(self.first)}->{_stream_query_name(self.second)}",
+                # Keep the pair honest about sampling: frames the gate
+                # skipped inside either constituent event stay labelled.
+                skipped_frames=tuple(
+                    sorted(set(ev_a.skipped_frames) | set(ev_b.skipped_frames))
+                ),
+            )
+            self._pairs.append((ev_a, ev_b, paired))
+            self._pending_pairs.append(paired)
+
+    def _prune_buffers(self, frame_id: int) -> None:
+        """Drop buffered events that can no longer pair with a future partner.
+
+        A buffered first event only matters for *future* seconds (buffered
+        seconds were already checked at ingest), which must start at or
+        after the second child's start watermark; symmetrically for
+        buffered seconds against the first child's end watermark.
+        """
+        if self._first_buf:
+            start_wm = self.second.min_future_event_start(frame_id)
+            self._first_buf = [
+                a for a in self._first_buf if a.end_frame + self.max_gap_frames >= start_wm
+            ]
+        if self._second_buf:
+            end_wm = self.first.min_future_event_end(frame_id)
+            self._second_buf = [
+                b for b in self._second_buf if b.start_frame - self.min_gap_frames >= end_wm
+            ]
+
+    # -- scan-scheduler protocol ------------------------------------------------
+    def done(self) -> bool:
+        # Only the stream's own pair bound can determine the answer early.
+        # A child reporting done() (its matched-frame bound) does NOT mean
+        # its event stream is determined — an open run can still extend, so
+        # stopping there would truncate events and fabricate pairs.
+        return self.limit is not None and len(self._pairs) >= self.limit
+
+    def lookback_frames(self) -> int:
+        return max(
+            self.first.lookback_frames(),
+            self.second.lookback_frames(),
+            self.max_gap_frames,
+        )
+
+    def drain_events(self) -> List[Event]:
+        out, self._pending_pairs = self._pending_pairs, []
+        return out
+
+    def min_future_event_start(self, frame_id: int) -> int:
+        # A future pair starts at its first event's start: either a buffered
+        # first event or one the first child has yet to close.
+        return min(
+            [self.first.min_future_event_start(frame_id)]
+            + [a.start_frame for a in self._first_buf]
+        )
+
+    def min_future_event_end(self, frame_id: int) -> int:
+        # A future pair ends at its second event's end: either a buffered
+        # second event or one the second child has yet to close.
+        return min(
+            [self.second.min_future_event_end(frame_id)]
+            + [b.end_frame for b in self._second_buf]
+        )
 
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         first = self.first.finalize(video, ctx)
         second = self.second.finalize(video, ctx)
 
-        pairs: List[Event] = []
+        # Events closed only at finalize (runs still open when the scan
+        # ended) have not been ingested yet; the seen-sets make this a no-op
+        # for everything already paired during the scan.
+        self._ingest(first.events, second.events)
+
+        # Bounded semantics are "first `limit` pairs to form" — what done()
+        # tested.  The cut happens in formation order BEFORE sorting: the
+        # finalize-time ingest above may pair events force-closed by an
+        # early exit, and those late fabrications sort by start frame and
+        # could displace the pairs that determined the answer.
+        chosen = self._pairs[: self.limit] if self.limit is not None else self._pairs
+        ordered = sorted(
+            chosen,
+            key=lambda t: (
+                t[0].start_frame,
+                t[0].end_frame,
+                t[1].start_frame,
+                t[1].end_frame,
+            ),
+        )
+        pairs = [paired for _, _, paired in ordered]
         matched_frames: set = set()
-        for ev_a in first.events:
-            for ev_b in second.events:
-                gap = ev_b.start_frame - ev_a.end_frame
-                if self.min_gap_frames <= gap <= self.max_gap_frames:
-                    pairs.append(
-                        Event(
-                            start_frame=ev_a.start_frame,
-                            end_frame=ev_b.end_frame,
-                            signature=ev_a.signature + ev_b.signature,
-                            label=f"{first.query_name}->{second.query_name}",
-                        )
-                    )
-                    matched_frames.update(range(ev_a.start_frame, ev_b.end_frame + 1))
+        for ev_a, ev_b, _ in ordered:
+            matched_frames.update(range(ev_a.start_frame, ev_b.end_frame + 1))
 
         result = QueryResult(query_name=self.query_name)
         result.num_frames_processed = max(first.num_frames_processed, second.num_frames_processed)

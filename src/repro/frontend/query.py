@@ -96,6 +96,31 @@ class Query:
     #: Optional human-readable name used in reports; defaults to the class name.
     name: Optional[str] = None
 
+    #: Optional result bound: the query is considered answered once this many
+    #: matching frames (basic queries) or events/pairs (duration/temporal
+    #: queries) are determined, letting the scan scheduler retire the query —
+    #: and stop the whole scan once every query in the batch is done.  None
+    #: means unbounded.  Aggregating queries ignore the bound (an aggregate
+    #: needs the whole video).
+    limit: Optional[int] = None
+
+    # -- result bounds (early exit) ---------------------------------------------
+    def bounded(self, limit: int) -> "Query":
+        """Declare the query answered after ``limit`` matches/events (top-k).
+
+        Returns ``self`` so bounds read fluently::
+
+            session.execute(RedCarQuery().bounded(3))
+        """
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise QueryDefinitionError(f"{self.query_name}: limit must be a positive int, got {limit!r}")
+        self.limit = limit
+        return self
+
+    def exists(self) -> "Query":
+        """Declare the query existence-style: answered at the first match."""
+        return self.bounded(1)
+
     # -- user-overridable hooks ------------------------------------------------
     def frame_constraint(self) -> Predicate:
         """Predicate a frame's objects must satisfy; default accepts everything."""

@@ -9,6 +9,13 @@ discard frames that cannot contribute to the query result (§4.1, §4.4):
   ("no red on road" in Figure 11).
 
 Both are simulated from ground truth with a small, configurable error rate.
+
+Frame filters are evaluated by the scan scheduler's batch-level gate
+(:class:`repro.backend.scheduler.FrameGate`), which memoises each model's
+decision per frame so several queries sharing a filter pay for it once.
+:func:`evaluate_frame_filter` is the single dispatch point for the two
+filter protocols (``keep`` for filters, ``predict`` for binary
+classifiers).
 """
 
 from __future__ import annotations
@@ -19,6 +26,18 @@ from repro.common.clock import CostProfile, SimClock
 from repro.common.rng import bernoulli, derive_rng, stable_uniform
 from repro.models.base import SimulatedModel
 from repro.videosim.video import Frame
+
+
+def evaluate_frame_filter(model, frame: Frame, clock: Optional[SimClock] = None) -> bool:
+    """Run any frame-level filter model; True means the frame is kept.
+
+    Frame filters expose ``keep``; §4.4 binary classifiers expose
+    ``predict``.  Both the pipeline's FrameFilterOp and the scan
+    scheduler's gate dispatch through here.
+    """
+    if hasattr(model, "keep"):
+        return bool(model.keep(frame, clock))
+    return bool(model.predict(frame, clock))
 
 
 class MotionFrameFilter(SimulatedModel):
