@@ -1,0 +1,50 @@
+"""Machine-readable benchmark outputs.
+
+Every benchmark file writes a ``BENCH_<name>.json`` next to the repo root in
+addition to its human-readable stdout, so the perf trajectory (detector
+invocations, virtual milliseconds, speedups) can be tracked across PRs by
+tooling instead of by grepping pytest logs.  One file per benchmark module;
+each test contributes a named section, accumulated across the run.  The
+files are build artifacts — ``.gitignore`` keeps them out of the tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+from _scale import SCALE
+
+#: BENCH_*.json files land in the repository root (the benchmarks' parent).
+_OUTPUT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_path(name: str) -> str:
+    return os.path.join(_OUTPUT_DIR, f"BENCH_{name}.json")
+
+
+def record_bench(name: str, section: str, payload: Dict[str, Any]) -> str:
+    """Merge one test's ``payload`` into ``BENCH_<name>.json`` and return its path.
+
+    Sections accumulate: running a single test updates only its own section,
+    a full run rebuilds every section.  The file always carries the scale the
+    numbers were produced at, since absolute counters depend on it.
+    """
+    path = bench_path(name)
+    data: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["bench"] = name
+    data["scale"] = SCALE
+    data["generated_unix"] = int(time.time())
+    data.setdefault("sections", {})[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,9 +1,27 @@
 """Ablation benches: intrinsic reuse, DAG optimizations, registered
 optimizations (§4.4), and query-level reuse."""
 
+from _bench_output import record_bench
 from _scale import scaled
 
 from repro.experiments import ablations
+
+
+def _record(section, result):
+    record_bench(
+        "ablations",
+        section,
+        {
+            "rows": [
+                {
+                    "configuration": row.configuration,
+                    "simulated_ms": round(row.total_ms, 1),
+                    "f1_vs_reference": row.f1_vs_reference,
+                }
+                for row in result.rows
+            ]
+        },
+    )
 
 
 def test_ablation_intrinsic_reuse(benchmark):
@@ -12,6 +30,7 @@ def test_ablation_intrinsic_reuse(benchmark):
     )
     print()
     print(result.to_report().to_text())
+    _record("intrinsic_reuse", result)
     assert result.row("reuse on").total_ms < result.row("reuse off").total_ms
     assert result.row("reuse on").f1_vs_reference > 0.9
 
@@ -22,6 +41,7 @@ def test_ablation_planner_optimizations(benchmark):
     )
     print()
     print(result.to_report().to_text())
+    _record("planner_optimizations", result)
     base = result.row("no pull-up, no fusion").total_ms
     assert result.row("pull-up only").total_ms <= base
     assert result.row("pull-up + fusion + reuse").total_ms < base
@@ -33,6 +53,7 @@ def test_ablation_registered_extensions(benchmark):
     )
     print()
     print(result.to_report().to_text())
+    _record("registered_extensions", result)
     plain = result.row("general detector, no filters").total_ms
     filtered = result.row("+ binary classifier frame filter").total_ms
     assert filtered <= plain * 1.1  # the filter never makes it much worse
@@ -44,6 +65,7 @@ def test_ablation_query_level_reuse(benchmark):
     )
     print()
     print(result.to_report().to_text())
+    _record("query_level_reuse", result)
     shared = result.row("executed in one pass (shared)").total_ms
     individual = result.row("executed individually").total_ms
     # The paper reports an overall 3.4x from combining Q1-Q5.

@@ -20,6 +20,7 @@ detector invocations than the exhaustive baseline.
 import json
 import time
 
+from _bench_output import record_bench
 from _scale import scaled
 
 from repro.backend.planner import PlannerConfig
@@ -92,6 +93,7 @@ def _emit_json(name, payload):
     print()
     print(f"--- bench_scan_scheduler JSON [{name}] ---")
     print(json.dumps(payload, indent=2, sort_keys=True))
+    record_bench("scan_scheduler", name, payload)
 
 
 def _sparse_red_car_video(duration_s: float) -> SyntheticVideo:

@@ -3,6 +3,7 @@ for higher-order queries) and O(1) frame-cache eviction on long videos."""
 
 import time
 
+from _bench_output import record_bench
 from _scale import scaled
 
 from repro.backend.planner import PlannerConfig
@@ -76,6 +77,16 @@ def test_single_pass_mixed_batch(benchmark):
     print(f"mixed batch, one streaming pass : {shared_ms:12.1f} virtual ms")
     print(f"same queries, one pass each     : {individual_ms:12.1f} virtual ms")
     print(f"speedup                         : {individual_ms / shared_ms:12.2f}x")
+    record_bench(
+        "streaming",
+        "single_pass_mixed_batch",
+        {
+            "num_frames": video.num_frames,
+            "simulated_ms_shared_pass": round(shared_ms, 1),
+            "simulated_ms_individual_passes": round(individual_ms, 1),
+            "simulated_speedup_x": round(individual_ms / shared_ms, 2),
+        },
+    )
     assert shared_ms < individual_ms / 1.5
 
 
@@ -129,5 +140,16 @@ def test_release_frame_eviction_not_quadratic(benchmark):
     print(f"evicting {small} frames: {small_s * 1e3:8.2f} ms")
     print(f"evicting {large} frames: {large_s * 1e3:8.2f} ms")
     print(f"scaling ratio ({large // small}x frames): {ratio:8.2f}x")
+    record_bench(
+        "streaming",
+        "frame_cache_eviction",
+        {
+            "small_frames": small,
+            "large_frames": large,
+            "wall_clock_small_ms": round(small_s * 1e3, 2),
+            "wall_clock_large_ms": round(large_s * 1e3, 2),
+            "scaling_ratio_x": round(ratio, 2),
+        },
+    )
     # Linear scaling gives ~5x; the seed's dict rebuilds gave ~25x.
     assert ratio < 15.0

@@ -125,6 +125,7 @@ class Executor:
             ctx,
             gating=self.config.enable_scan_gating,
             early_exit=self.config.enable_early_exit,
+            stride=self.config.stride(),
         )
         ctx.scan_stats = scheduler.stats
         leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
@@ -163,6 +164,10 @@ class Executor:
         planner: Planner,
     ) -> List[QueryResult]:
         """Execute a mixed batch of queries in exactly one video scan."""
+        # Let the planner's cost model see the whole batch: frame filters
+        # hoisted into the scan gate are paid once per batch, and candidate
+        # pricing must reflect that sharing (gate-aware cost model).
+        planner.begin_batch(queries)
         streams = [self.compile(query, video, planner) for query in queries]
         return self.execute_streams(streams, video, ctx)
 

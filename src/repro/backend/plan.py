@@ -14,9 +14,11 @@ from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
+from typing import Tuple
+
 from repro.backend.analysis import QueryAnalysis
-from repro.backend.operators import JoinOp, Operator
-from repro.frontend.vobj import VObj
+from repro.backend.operators import DetectorOp, JoinOp, Operator, TrackerOp
+from repro.frontend.vobj import Scene, VObj
 
 
 @dataclass
@@ -31,8 +33,11 @@ class QueryPlan:
     variant: str = "base"
     #: Free-form annotations about how the plan was built (optimizations applied).
     notes: List[str] = field(default_factory=list)
-    #: Filled by canary profiling.
+    #: Filled by canary profiling.  ``estimated_cost_ms`` is the cost used
+    #: for candidate selection (gate/stride-aware discounts applied);
+    #: ``profiled_cost_ms`` is the raw measured canary cost.
     estimated_cost_ms: Optional[float] = None
+    profiled_cost_ms: Optional[float] = None
     estimated_f1: Optional[float] = None
 
     # -- execution order ---------------------------------------------------------
@@ -59,6 +64,51 @@ class QueryPlan:
 
     def join_operator(self) -> JoinOp:
         return JoinOp([info.variable for info in self.analysis.variables if not info.is_scene])
+
+    # -- structure probes (scan scheduler / cost model) ---------------------------
+    def detector_models(self) -> frozenset:
+        """Names of the detection models this plan invokes per frame."""
+        names = set()
+        for ops in self.branches.values():
+            for op in ops:
+                if isinstance(op, DetectorOp) and not isinstance(op.variable, Scene):
+                    names.add(op.model_name)
+                elif isinstance(op, TrackerOp):
+                    names.add(op.detector_name)
+        return frozenset(names)
+
+    def filter_models(self) -> frozenset:
+        """Names of the frame-filter models in this plan's hoisted prefix."""
+        return frozenset(op.model_name for op in self.frame_filters)
+
+    def tracked_detector_pairs(self) -> Optional[List[Tuple[str, str]]]:
+        """The plan's (tracker model, detector model) pairs, or None.
+
+        A plan is *stride-samplable* only when every non-scene branch runs a
+        tracker behind its detector: skipped frames are then reconstructible
+        by track interpolation.  Returns ``None`` when some branch detects
+        without tracking (its objects have no cross-frame identity to
+        interpolate), otherwise the distinct pairs in branch order.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for ops in self.branches.values():
+            detector = next(
+                (
+                    op
+                    for op in ops
+                    if isinstance(op, DetectorOp) and not isinstance(op.variable, Scene)
+                ),
+                None,
+            )
+            if detector is None:
+                continue
+            tracker = next((op for op in ops if isinstance(op, TrackerOp)), None)
+            if tracker is None:
+                return None
+            pair = (tracker.tracker_name, tracker.detector_name)
+            if pair not in pairs:
+                pairs.append(pair)
+        return pairs
 
     def operator_kinds(self) -> List[str]:
         return [op.kind for op in self.operators()]

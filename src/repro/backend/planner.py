@@ -21,7 +21,7 @@ data skip re-profiling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.analysis import QueryAnalysis, VariableInfo, analyze_query
@@ -37,7 +37,7 @@ from repro.backend.operators import (
     VObjFilterOp,
 )
 from repro.backend.plan import QueryPlan
-from repro.common.config import AccuracyTarget
+from repro.common.config import AccuracyTarget, StrideConfig
 from repro.common.errors import PlanError
 from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
 from repro.frontend.query import Query
@@ -84,9 +84,37 @@ class PlannerConfig:
     #: Let bounded queries (``Query.bounded`` / ``Query.exists``) retire
     #: mid-scan and stop the scan once every stream's answer is determined.
     enable_early_exit: bool = True
+    #: Adaptive frame-stride sampling: raise the detection stride on streams
+    #: whose tracker state is stable and fill skipped frames by Kalman
+    #: interpolation (off = every surviving frame pays full detector cost).
+    enable_stride_sampling: bool = False
+    #: Upper bound on the adaptive detection stride (powers of two).
+    max_stride: int = 8
+    #: Minimum predicted-vs-detected IoU for a sampled frame to agree with
+    #: the tracker prediction (below it the skipped gap is re-scanned).
+    stride_iou_tol: float = 0.5
+    #: Consecutive predictable frames required before each stride doubling.
+    stride_stable_frames: int = 3
+    #: Gate/stride-aware candidate pricing: hoisted frame filters shared
+    #: across the batch are priced once per batch instead of once per plan,
+    #: and detector cost is discounted by the expected sampling rate.  Off =
+    #: the PR-2 behaviour (every candidate priced as if executed alone).
+    enable_gate_aware_costs: bool = True
+    #: The cost model's prior for the fraction of a workload's frames that
+    #: are tracker-predictable (drives the expected sampling discount).
+    stride_stable_fraction: float = 0.5
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
+
+    def stride(self) -> "StrideConfig":
+        """The scan scheduler's stride-sampling knobs as a StrideConfig."""
+        return StrideConfig(
+            enabled=self.enable_stride_sampling,
+            max_stride=self.max_stride,
+            iou_tol=self.stride_iou_tol,
+            stable_frames=self.stride_stable_frames,
+        )
 
 
 class Planner:
@@ -95,12 +123,56 @@ class Planner:
     def __init__(self, zoo: ModelZoo, config: Optional[PlannerConfig] = None) -> None:
         self.zoo = zoo
         self.config = config or PlannerConfig()
-        #: (query class name, video name) -> chosen variant name.
-        self._variant_cache: Dict[Tuple[str, str], str] = {}
+        #: (query class name, video name, batch signature) -> chosen variant.
+        self._variant_cache: Dict[Tuple, str] = {}
+        #: filter model name -> number of queries in the current batch whose
+        #: VObjs register it (set by :meth:`begin_batch`).  The scan gate
+        #: evaluates a hoisted filter once per frame for the whole batch, so
+        #: a model registered by k queries costs each plan 1/k of a solo run.
+        self._batch_filter_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------- batch --
+    def begin_batch(self, queries: Sequence[Query]) -> None:
+        """Tell the cost model which queries will share the next scan.
+
+        Counts how many queries in the batch register each frame-filter
+        model; :meth:`_profile_and_select` uses the multiplicity to price a
+        hoisted filter once per batch instead of once per plan.  Temporal
+        compositions are unwrapped to the plannable sub-queries the executor
+        actually compiles.
+        """
+        counts: Dict[str, int] = {}
+
+        def visit(query: Query) -> None:
+            first = getattr(query, "first", None)
+            second = getattr(query, "second", None)
+            if first is not None and second is not None:
+                visit(first)
+                visit(second)
+                return
+            try:
+                analysis = analyze_query(query)
+            except Exception:  # pragma: no cover - defensive
+                return
+            seen: set = set()
+            for info in analysis.variables:
+                for spec in info.vobj_type.registered_filters():
+                    if spec.model and spec.model in self.zoo and spec.model not in seen:
+                        seen.add(spec.model)
+                        counts[spec.model] = counts.get(spec.model, 0) + 1
+
+        for query in queries:
+            visit(query)
+        self._batch_filter_counts = counts
 
     # ------------------------------------------------------------------ costs --
     def _model_cost(self, model_name: Optional[str]) -> float:
-        """Rough per-invocation cost of a library model (for ordering filters)."""
+        """Rough per-invocation cost of a library model (for ordering filters).
+
+        Batch-level sharing of hoisted frame filters is priced at selection
+        time (:meth:`_gate_shared_filter_ms`), not here: conjunct ordering
+        inside one plan is unaffected by what other queries share.
+        """
         if not model_name or model_name not in self.zoo:
             return 0.05
         try:
@@ -316,7 +388,14 @@ class Planner:
         if len(candidates) == 1 or not self.config.profile_plans or video is None:
             return candidates[0]
 
-        cache_key = (type(query).__name__, video.spec.name)
+        # Gate-aware pricing makes selection batch-dependent: the same query
+        # can legitimately choose different variants with and without batch
+        # mates sharing its filters, so the batch's filter multiplicities are
+        # part of the cache identity.
+        batch_signature: Tuple = ()
+        if self.config.enable_scan_gating and self.config.enable_gate_aware_costs:
+            batch_signature = tuple(sorted(self._batch_filter_counts.items()))
+        cache_key = (type(query).__name__, video.spec.name, batch_signature)
         if cache_key in self._variant_cache:
             wanted = self._variant_cache[cache_key]
             for candidate in candidates:
@@ -327,18 +406,72 @@ class Planner:
         self._variant_cache[cache_key] = chosen.variant
         return chosen
 
+    def _gate_shared_filter_ms(self, candidate: QueryPlan, breakdown: Dict[str, float]) -> float:
+        """Measured filter ms the batch gate amortises away for this plan.
+
+        With scan gating on, a frame filter registered by ``k`` queries in
+        the batch is evaluated once per frame for all of them; the canary
+        profile charged this candidate the full solo cost, so ``(1 - 1/k)``
+        of the measured filter time is not marginal cost of choosing it.
+        """
+        if not (self.config.enable_scan_gating and self.config.enable_gate_aware_costs):
+            return 0.0
+        shared = 0.0
+        for op in candidate.frame_filters:
+            k = self._batch_filter_counts.get(op.model_name, 1)
+            if k > 1:
+                shared += breakdown.get(op.model_name, 0.0) * (1.0 - 1.0 / k)
+        return shared
+
+    def _stride_detector_discount_ms(self, candidate: QueryPlan, breakdown: Dict[str, float]) -> float:
+        """Expected detector ms that stride sampling will skip for this plan.
+
+        Only fully tracked plans can be stride-sampled (skipped frames are
+        filled by track interpolation); for them the expected detector rate
+        is ``(1 - s) + s / max_stride`` where ``s`` is the configured prior
+        for the tracker-predictable fraction of the workload.
+        """
+        cfg = self.config
+        if not (cfg.enable_stride_sampling and cfg.enable_gate_aware_costs):
+            return 0.0
+        if candidate.tracked_detector_pairs() is None:
+            return 0.0
+        detector_ms = sum(breakdown.get(name, 0.0) for name in candidate.detector_models())
+        saved_fraction = cfg.stride_stable_fraction * (1.0 - 1.0 / max(cfg.max_stride, 1))
+        return detector_ms * saved_fraction
+
     def _profile_and_select(self, candidates: List[QueryPlan], video) -> QueryPlan:
-        """Profile candidates on the canary clip and pick the cheapest accurate one."""
+        """Profile candidates on the canary clip and pick the cheapest accurate one.
+
+        Measured canary cost lands in ``profiled_cost_ms``; the selection
+        cost ``estimated_cost_ms`` additionally subtracts what the scan
+        scheduler will not actually pay — batch-shared hoisted frame filters
+        and stride-sampled detector invocations — so candidate ranking
+        reflects gating and sampling instead of pricing every plan as if it
+        executed alone.
+        """
         from repro.backend.executor import Executor
         from repro.backend.runtime import ExecutionContext
         from repro.metrics.accuracy import f1_score_sets
 
         canary = video.canary(self.config.canary_frames)
 
+        # Profile the *unsampled* cost: the canary run must not itself stride-
+        # sample, or the analytic sampling discount below would double-count.
+        profiling_config = replace(self.config, enable_stride_sampling=False)
+
         def run(candidate: QueryPlan):
             ctx = ExecutionContext(canary, self.zoo, reuse_enabled=self.config.enable_reuse)
-            result = Executor(self.config).execute_plan(candidate, canary, ctx)
-            candidate.estimated_cost_ms = ctx.clock.elapsed_ms
+            result = Executor(profiling_config).execute_plan(candidate, canary, ctx)
+            breakdown = dict(ctx.clock.by_account)
+            candidate.profiled_cost_ms = ctx.clock.elapsed_ms
+            discount = self._gate_shared_filter_ms(candidate, breakdown)
+            discount += self._stride_detector_discount_ms(candidate, breakdown)
+            candidate.estimated_cost_ms = ctx.clock.elapsed_ms - discount
+            if discount > 0:
+                candidate.notes.append(
+                    f"gate/stride-aware cost model: -{discount:.1f}ms shared/sampled"
+                )
             return set(result.matched_frames)
 
         # The most general candidate (general detectors, no frame filters)

@@ -373,6 +373,35 @@ class ExecutionContext:
             per_frame[key] = tracker.update(list(detections), self.clock)
         return per_frame[key]
 
+    def peek_tracker(self, tracker_name: str, detector_name: str) -> Optional[Any]:
+        """The live tracker instance for the pair, or None if it never ran.
+
+        Used by the scan scheduler's stride sampler to read the tracker's
+        active tracks for prediction/validation without instantiating (and
+        thus resetting) a tracker that no pipeline has touched yet.
+        """
+        return self._trackers.get((tracker_name, detector_name))
+
+    def seed_frame(
+        self,
+        frame_id: int,
+        detector_name: str,
+        tracker_key: Tuple[str, str],
+        detections: Sequence[Detection],
+    ) -> None:
+        """Pre-populate a frame's detector/tracker caches with synthesized results.
+
+        The stride sampler fills skipped frames with track-interpolated
+        detections; seeding them here lets the ordinary operator pipelines
+        run over the frame without invoking the detector or advancing the
+        tracker.  Existing (real) cached results are never overwritten, so a
+        stream that did run models on the frame always wins.
+        """
+        per_frame = self._detections.setdefault(frame_id, {})
+        per_frame.setdefault(detector_name, list(detections))
+        tracked = self._tracked.setdefault(frame_id, {})
+        tracked.setdefault(tracker_key, list(detections))
+
     def interactions(self, model_name: str, subject: Detection, object_: Detection, frame: Frame) -> Tuple[str, ...]:
         per_frame = self._interactions.setdefault(frame.frame_id, {})
         key = (model_name, subject, object_)

@@ -13,6 +13,24 @@ filters ahead of detectors; §4.2/§5.3 — cross-query reuse):
   every leaf its own skip decision.  Skip masks are per-stream, not global:
   a stream without filters still sees every frame, preserving per-query
   semantics.
+* :class:`StrideController` — per-stream adaptive detection stride.  When a
+  stream's tracker state has been Kalman-predictable for a configurable
+  number of consecutive frames (every active track matched, no births or
+  deaths, predicted-vs-detected IoU above tolerance), the controller doubles
+  the stream's detection stride up to ``max_stride``.  The scheduler then
+  *defers* the frames every stream agrees to skip, and on the next sampled
+  frame either (a) **fills** the gap — predictions validated — by seeding the
+  execution context with track-interpolated detections and running the
+  ordinary pipelines over them (no detector or tracker invocation, frames
+  labelled in ``Event.skipped_frames``), or (b) **re-scans** the gap — a
+  track was born, died, or drifted — running the full pipeline on every
+  deferred frame in order, so tracker state evolves exactly as a stride-1
+  scan and event boundaries stay frame-accurate.  Because a re-scan performs
+  the same work a stride-1 scan would have, stride sampling cannot exceed
+  the stride-1 scheduler's detector invocations — except by the single
+  endpoint probe already spent when an early exit lands *inside* a deferred
+  gap (the scan stops mid-re-scan and never reaches the probed frame), a
+  once-per-scan edge bounded at one invocation.
 * :class:`ScanScheduler` — drives the per-frame loop: runs or skips each
   leaf pipeline, retires streams whose ``done()`` protocol reports their
   answer is determined (existence / top-k bounds), stops the scan entirely
@@ -26,14 +44,19 @@ in the operator pipelines and the execution context's shared caches.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.backend.operators import OPERATOR_OVERHEAD_MS
 from repro.backend.runtime import ExecutionContext
 from repro.backend.streaming import PlanStream, QueryStream
+from repro.common.config import StrideConfig
+from repro.models.base import Detection
 from repro.models.framefilters import evaluate_frame_filter
 from repro.videosim.video import Frame
+
+#: A (tracker model, detector model) pair, the unit of stride validation.
+TrackedPair = Tuple[str, str]
 
 
 @dataclass
@@ -42,7 +65,7 @@ class ScanStats:
 
     #: Frames the scan actually decoded and stepped through.
     frames_scanned: int = 0
-    #: (leaf, frame) pipeline executions.
+    #: (leaf, frame) pipeline executions on detector-observed frames.
     leaf_frames_processed: int = 0
     #: (leaf, frame) pairs skipped because the leaf's gate rejected the frame.
     leaf_frames_gated: int = 0
@@ -55,9 +78,27 @@ class ScanStats:
     streams_retired: int = 0
     #: Frame id at which the whole scan stopped early (None = ran to the end).
     early_exit_frame: Optional[int] = None
+    #: Frames provisionally skipped by the stride sampler (deferred).
+    frames_deferred: int = 0
+    #: Deferred frames whose results were filled by track interpolation.
+    frames_interpolated: int = 0
+    #: Deferred frames re-scanned in full after a prediction disagreement.
+    frames_rescanned: int = 0
+    #: (leaf, frame) pipeline executions over interpolation-seeded caches.
+    leaf_frames_interpolated: int = 0
+    #: Times some stream's stride doubled / was reset to 1.
+    stride_raises: int = 0
+    stride_resets: int = 0
+    #: Highest stride any stream reached during the scan.
+    peak_stride: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScanStats":
+        """Rebuild stats from :meth:`as_dict` output (round-trip safe)."""
+        return cls(**dict(data))
 
 
 class FrameGate:
@@ -105,15 +146,68 @@ class FrameGate:
         self._decisions.pop(frame_id, None)
 
 
+class StrideController:
+    """Per-stream adaptive detection stride (1, 2, 4, … ≤ ``max_stride``).
+
+    A stream is *eligible* for stride sampling only when every leaf plan is
+    fully tracked (each non-scene detector branch runs a tracker): skipped
+    frames are then reconstructible by track interpolation.  Strides are
+    anchored at absolute frame ids (frame sampled iff ``frame_id % stride ==
+    0``), so the sample grids of streams at different power-of-two strides
+    nest and the scheduler can skip exactly the frames *every* stream skips.
+    """
+
+    def __init__(self, stream: QueryStream, cfg: StrideConfig) -> None:
+        self.stream = stream
+        self.cfg = cfg
+        self.stride = 1
+        #: Consecutive predictable sampled frames since the last raise/reset.
+        self.streak = 0
+        pairs: List[TrackedPair] = []
+        eligible = True
+        for leaf in stream.plan_streams():
+            leaf_pairs = leaf.plan.tracked_detector_pairs()
+            if leaf_pairs is None:
+                eligible = False
+                break
+            for pair in leaf_pairs:
+                if pair not in pairs:
+                    pairs.append(pair)
+        self.eligible = eligible
+        self.pairs: List[TrackedPair] = pairs if eligible else []
+
+    def observe(self, predictable: bool, stats: ScanStats) -> None:
+        """Fold one sampled frame's validation verdict into the stride."""
+        if not self.eligible:
+            return
+        if predictable:
+            self.streak += 1
+            if self.streak >= self.cfg.stable_frames and self.stride < self.cfg.max_stride:
+                # Clamp at the cap so a non-power-of-two max_stride (e.g. 6)
+                # is honoured instead of overshot by the doubling.
+                self.stride = min(self.stride * 2, self.cfg.max_stride)
+                self.streak = 0
+                stats.stride_raises += 1
+                stats.peak_stride = max(stats.peak_stride, self.stride)
+        else:
+            if self.stride > 1:
+                stats.stride_resets += 1
+            self.stride = 1
+            self.streak = 0
+
+
 class ScanScheduler:
     """Advances a batch of query streams through a shared scan, adaptively.
 
-    Per frame the scheduler (1) consults the :class:`FrameGate` so leaves
-    whose filters reject the frame skip their detector/tracker/property
-    pipeline entirely, (2) advances the composition layers, (3) retires
-    streams that report ``done()``, and (4) releases per-frame caches that
-    have aged out of every active stream's lookback window.  ``step``
-    returns False when no active stream remains, which terminates the scan.
+    Per frame the scheduler (1) defers the frame entirely when every active
+    stream's stride says to skip it, (2) consults the :class:`FrameGate` so
+    leaves whose filters reject the frame skip their detector/tracker/
+    property pipeline, (3) on sampled frames validates tracker predictions
+    and resolves any deferred gap (interpolated fill or full re-scan),
+    (4) advances the composition layers, (5) retires streams that report
+    ``done()``, and (6) releases per-frame caches that have aged out of
+    every active stream's lookback window.  ``step`` returns False when no
+    active stream remains, which terminates the scan.
     """
 
     def __init__(
@@ -122,21 +216,35 @@ class ScanScheduler:
         ctx: ExecutionContext,
         gating: bool = True,
         early_exit: bool = True,
+        stride: Optional[StrideConfig] = None,
     ) -> None:
         self.streams = list(streams)
         self.ctx = ctx
         self.early_exit = early_exit
         self.stats = ScanStats()
         self.gate: Optional[FrameGate] = FrameGate(ctx, self.stats) if gating else None
+        self.stride_cfg: Optional[StrideConfig] = (
+            stride if stride is not None and stride.enabled and stride.max_stride > 1 else None
+        )
         self._active: List[QueryStream] = list(self.streams)
         self._active_leaves: List[PlanStream] = [
             leaf for stream in self._active for leaf in stream.plan_streams()
         ]
+        self._controllers: Dict[int, StrideController] = {}
+        if self.stride_cfg is not None:
+            self._controllers = {
+                id(s): StrideController(s, self.stride_cfg) for s in self.streams
+            }
+        #: Frames provisionally skipped by the stride sampler, oldest first.
+        self._pending: List[Frame] = []
         #: Widest lookback any stream needs: frames younger than this may
         #: still feed duration/temporal grouping and must not be evicted.
         self.lookback = max((s.lookback_frames() for s in self.streams), default=0)
         self._release_cursor = 0
         self._last_frame_id: Optional[int] = None
+        #: Frame id of the last frame whose pipelines actually ran (the
+        #: anchor that stride-sampling predictions extrapolate from).
+        self._last_processed: Optional[int] = None
 
     @property
     def active_streams(self) -> List[QueryStream]:
@@ -144,8 +252,61 @@ class ScanScheduler:
 
     def step(self, frame: Frame) -> bool:
         """Process one frame; returns False when the scan should stop."""
-        ctx = self.ctx
         self._last_frame_id = frame.frame_id
+        self.stats.frames_scanned += 1
+
+        if self.stride_cfg is not None:
+            stride = self._batch_stride()
+            if stride > 1 and frame.frame_id % stride != 0:
+                # Every active stream agreed to skip: defer the frame.  It is
+                # resolved (interpolated or re-scanned) at the next sample.
+                self._pending.append(frame)
+                self.stats.frames_deferred += 1
+                self._release_through(
+                    min(frame.frame_id - self.lookback, self._pending[0].frame_id - 1)
+                )
+                return True
+            verdicts = self._validate_and_resolve(frame)
+            if verdicts is None:
+                # Every stream's answer was determined while resolving the
+                # deferred gap — stop before this frame, exactly where a
+                # stride-1 early-exit scan would have stopped.
+                return False
+        else:
+            verdicts = None
+
+        self._process_frame(frame)
+
+        if verdicts is not None:
+            for stream in self._active:
+                controller = self._controllers[id(stream)]
+                controller.observe(verdicts.get(id(stream), False), self.stats)
+
+        self._release_through(frame.frame_id - self.lookback)
+        if self.early_exit:
+            self._retire_done()
+            if not self._active:
+                self.stats.early_exit_frame = frame.frame_id
+                return False
+        return True
+
+    def drain(self) -> None:
+        """Resolve any deferred tail and release retained frames.
+
+        A video can end (or an early exit can never come — it is checked on
+        sampled frames only) while frames sit in the deferred gap; with no
+        future sampled frame to validate against, the tail is re-scanned in
+        full, which is exactly what a stride-1 scan would have done.
+        """
+        if self._pending:
+            self._rescan_gap()
+        if self._last_frame_id is not None:
+            self._release_through(self._last_frame_id)
+
+    # -- per-frame processing ----------------------------------------------------
+    def _process_frame(self, frame: Frame) -> None:
+        """Run one frame through gate + leaf pipelines + composition layers."""
+        ctx = self.ctx
         leaves = self._active_leaves
         frame_start = ctx.clock.snapshot()
         for leaf in leaves:
@@ -160,19 +321,202 @@ class ScanScheduler:
             leaf.result.per_frame_ms.append(per_leaf_ms)
         for stream in self._active:
             stream.observe_frame(frame.frame_id)
-        self.stats.frames_scanned += 1
-        self._release_through(frame.frame_id - self.lookback)
-        if self.early_exit:
-            self._retire_done()
-            if not self._active:
-                self.stats.early_exit_frame = frame.frame_id
+        self._last_processed = frame.frame_id
+
+    # -- stride sampling ----------------------------------------------------------
+    def _batch_stride(self) -> int:
+        """The stride every active stream agrees on (1 disables skipping)."""
+        stride: Optional[int] = None
+        for stream in self._active:
+            controller = self._controllers[id(stream)]
+            if not controller.eligible:
+                return 1
+            stride = controller.stride if stride is None else min(stride, controller.stride)
+        return stride or 1
+
+    def _validate_and_resolve(self, frame: Frame) -> Optional[Dict[int, bool]]:
+        """Validate tracker predictions at a sampled frame; resolve the gap.
+
+        Validation runs *before* any pipeline touches the frame, while the
+        trackers still hold the state of the previous sampled frame: each
+        (tracker, detector) pair's active tracks are extrapolated to this
+        frame and matched against a fresh detector probe (the probe populates
+        the shared per-frame cache, so the pipelines never pay it twice).
+
+        Returns None when every stream's answer became determined while the
+        gap was being resolved (the scan must stop there, like a stride-1
+        early exit would have), otherwise the per-stream verdicts.
+        """
+        verdicts: Dict[int, bool] = {}
+        match_maps: Dict[TrackedPair, Optional[Dict[int, Detection]]] = {}
+        for stream in self._active:
+            controller = self._controllers[id(stream)]
+            if not controller.eligible:
+                verdicts[id(stream)] = False
+                continue
+            ok = True
+            for pair in controller.pairs:
+                if pair not in match_maps:
+                    match_maps[pair] = self._validate_pair(pair, frame)
+                if match_maps[pair] is None:
+                    ok = False
+            verdicts[id(stream)] = ok
+
+        if self._pending:
+            if all(verdicts.get(id(s), False) for s in self._active):
+                resolved = self._fill_gap(frame, match_maps)
+            else:
+                resolved = self._rescan_gap()
+            if not resolved:
+                return None
+        return verdicts
+
+    def _probe_allowed(self, detector_name: str, frame: Frame) -> bool:
+        """True when a stride-1 scan would also run this detector here.
+
+        The validation probe must never *add* detector invocations: if every
+        leaf using the detector is gate-rejected on this frame, a stride-1
+        scan would not have detected on it either, so validation abstains
+        (the gap is then resolved by re-scan, which is budget-neutral).
+        """
+        for leaf in self._active_leaves:
+            if detector_name not in leaf.detector_models:
+                continue
+            if self.gate is None or self.gate.admits(leaf, frame):
+                return True
+        return False
+
+    def _validate_pair(self, pair: TrackedPair, frame: Frame) -> Optional[Dict[int, Detection]]:
+        """Match predicted track boxes against a detector probe on ``frame``.
+
+        Returns ``{track_id: matched detection}`` when the scene is fully
+        predictable — every active track was matched on the previous sampled
+        frame, no track was born or died, and each predicted box overlaps a
+        same-class detection with IoU ≥ ``iou_tol`` (one-to-one) — or None
+        on any disagreement.
+        """
+        tracker_name, detector_name = pair
+        last = self._last_processed
+        if last is None:
+            return None
+        if not self._probe_allowed(detector_name, frame):
+            return None
+        tracker = self.ctx.peek_tracker(tracker_name, detector_name)
+        tracks = tracker.active_tracks if tracker is not None else []
+        for track in tracks:
+            # A coasting track (missed at the anchor frame) means an object
+            # just vanished — the scene is not in a steady state.
+            if track.misses or track.last_frame_id != last:
+                return None
+        detections = self.ctx.detect(detector_name, frame)
+        if len(detections) != len(tracks):
+            return None  # birth or death since the last sampled frame
+        matches: Dict[int, Detection] = {}
+        taken: set = set()
+        tol = self.stride_cfg.iou_tol
+        for track in tracks:
+            predicted = track.interpolate(frame.frame_id)
+            best_idx, best_iou = None, tol
+            for idx, det in enumerate(detections):
+                if idx in taken or det.class_name != track.class_name:
+                    continue
+                overlap = predicted.iou(det.bbox)
+                if overlap >= best_iou:
+                    best_idx, best_iou = idx, overlap
+            if best_idx is None:
+                return None  # drift beyond tolerance
+            taken.add(best_idx)
+            matches[track.track_id] = detections[best_idx]
+        return matches
+
+    def _fill_gap(
+        self,
+        frame: Frame,
+        match_maps: Mapping[TrackedPair, Optional[Dict[int, Detection]]],
+    ) -> bool:
+        """Fill the deferred frames from track interpolation (validated path).
+
+        Each gap frame's detector/tracker caches are seeded with detections
+        interpolated between the track's last real detection and its matched
+        detection on the sampled endpoint, then the ordinary pipelines run
+        over them: properties, joins, sinks, and event grouping all see the
+        frame, but no detector or tracker model is invoked and the frame is
+        labelled in ``Event.skipped_frames``.
+
+        Returns False when the fill determined every stream's answer (the
+        scan should stop without touching the sampled endpoint's pipelines).
+        """
+        ctx = self.ctx
+        pending, self._pending = self._pending, []
+        for gap_frame in pending:
+            frame_start = ctx.clock.snapshot()
+            for pair, matches in match_maps.items():
+                if matches is None:  # unreachable on the validated path
+                    continue
+                tracker_name, detector_name = pair
+                tracker = ctx.peek_tracker(tracker_name, detector_name)
+                interpolated: List[Detection] = []
+                for track in tracker.active_tracks if tracker is not None else []:
+                    endpoint = matches.get(track.track_id)
+                    bbox = track.interpolate(
+                        gap_frame.frame_id,
+                        future_bbox=endpoint.bbox if endpoint is not None else None,
+                        future_frame_id=frame.frame_id if endpoint is not None else None,
+                    )
+                    interpolated.append(
+                        replace(track.last_detection, bbox=bbox, frame_id=gap_frame.frame_id)
+                    )
+                ctx.seed_frame(gap_frame.frame_id, detector_name, pair, interpolated)
+            for leaf in self._active_leaves:
+                # The gate still applies on filled frames: a stride-1 scan
+                # would have run the (cheap) filters here too, so honouring
+                # them is budget-neutral and keeps a leaf from reporting
+                # matches on frames its own filter would have rejected.
+                if self.gate is not None and not self.gate.admits(leaf, gap_frame):
+                    leaf.skip_frame(gap_frame)
+                    self.stats.leaf_frames_gated += 1
+                    continue
+                leaf.process_frame(gap_frame, ctx)
+                leaf.mark_interpolated(gap_frame.frame_id)
+                self.stats.leaf_frames_interpolated += 1
+            per_leaf_ms = ctx.clock.since(frame_start) / max(len(self._active_leaves), 1)
+            for leaf in self._active_leaves:
+                leaf.result.per_frame_ms.append(per_leaf_ms)
+            for stream in self._active:
+                stream.observe_frame(gap_frame.frame_id)
+            self.stats.frames_interpolated += 1
+            if not self._check_continue(gap_frame):
                 return False
         return True
 
-    def drain(self) -> None:
-        """Release the frames still held back by the retention window."""
-        if self._last_frame_id is not None:
-            self._release_through(self._last_frame_id)
+    def _rescan_gap(self) -> bool:
+        """Run the full pipeline over the deferred frames (disagreement path).
+
+        Frames are replayed in order *before* the sampled frame's pipelines
+        run, so tracker state sees exactly the update sequence a stride-1
+        scan would have — results for the gap are therefore identical to
+        never having deferred, and event boundaries stay frame-accurate.
+
+        Returns False when the re-scan determined every stream's answer (a
+        stride-1 early-exit scan would have stopped on that frame too).
+        """
+        pending, self._pending = self._pending, []
+        for gap_frame in pending:
+            self._process_frame(gap_frame)
+            self.stats.frames_rescanned += 1
+            if not self._check_continue(gap_frame):
+                return False
+        return True
+
+    def _check_continue(self, frame: Frame) -> bool:
+        """Retire done streams mid-gap; False once no stream remains."""
+        if not self.early_exit:
+            return True
+        self._retire_done()
+        if not self._active:
+            self.stats.early_exit_frame = frame.frame_id
+            return False
+        return True
 
     # -- internals --------------------------------------------------------------
     def _release_through(self, horizon: int) -> None:

@@ -70,6 +70,9 @@ class QuerySession:
                 "TemporalQuery is executed as a composition of its sub-queries; "
                 "plan the sub-queries individually to inspect their DAGs"
             )
+        # A solo plan shares the scan with nobody: reset any batch context a
+        # previous execute_many left on the cost model.
+        self.planner.begin_batch([query])
         return self.planner.plan(query, self.video)
 
     def explain(self, query: Query) -> str:
@@ -128,6 +131,19 @@ class QuerySession:
         return results
 
     # -- reporting ---------------------------------------------------------------
+    @property
+    def last_scan_stats(self) -> Optional[Dict[str, object]]:
+        """The scan scheduler's counters for the most recent single-video run.
+
+        Includes the stride-sampling counters (``frames_deferred``,
+        ``frames_interpolated``, ``frames_rescanned``, ``peak_stride``)
+        alongside the gating/early-exit ones; None before any execution or
+        after a multi-camera run (use ``last_multi`` for per-feed stats).
+        """
+        if self.last_context is None or self.last_context.scan_stats is None:
+            return None
+        return self.last_context.scan_stats.as_dict()
+
     def cost_breakdown(self) -> Dict[str, float]:
         """Virtual-ms breakdown (by model/operator) of the last execution.
 

@@ -244,6 +244,8 @@ class PlanStream(QueryStream):
         self.gated = gated
         #: Frame-filter operators hoisted out of the pipeline (gated mode).
         self.gate_filters = list(plan.frame_filters) if gated else []
+        #: Detector models this leaf runs per frame (stride-sampler probes).
+        self.detector_models = plan.detector_models()
         self.operators = plan.pipeline_operators() if gated else plan.operators()
         #: Result bound for early exit (None = unbounded).
         self.limit = limit
@@ -279,6 +281,18 @@ class PlanStream(QueryStream):
         if self._grouper is not None:
             self._grouper.mark_skipped(frame.frame_id)
         self.result.num_frames_processed += 1
+
+    def mark_interpolated(self, frame_id: int) -> None:
+        """Label a frame whose results came from track interpolation.
+
+        Stride-sampled frames DO run the pipeline (over seeded, interpolated
+        detections) and feed event grouping, but the detector never saw
+        them — so, like gate-skipped frames, they are recorded in
+        ``Event.skipped_frames`` to keep reported ranges honest about what
+        was actually observed.
+        """
+        if self._grouper is not None:
+            self._grouper.mark_skipped(frame_id)
 
     def observe_frame(self, frame_id: int) -> None:
         if self._grouper is not None:

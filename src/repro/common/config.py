@@ -33,6 +33,37 @@ class VideoSpec:
 
 
 @dataclass(frozen=True)
+class StrideConfig:
+    """Adaptive frame-stride sampling knobs (scan scheduler).
+
+    When enabled, the scan scheduler raises a stream's detection stride
+    (1→2→4→… up to ``max_stride``) once its tracker state has been
+    Kalman-predictable for ``stable_frames`` consecutive sampled frames,
+    fills the skipped frames by track interpolation, and drops back to
+    stride 1 — re-scanning the skipped gap — the moment a sampled frame
+    disagrees with the prediction (track birth/death, or any track drifting
+    below ``iou_tol`` IoU against its predicted box).
+    """
+
+    enabled: bool = False
+    #: Upper bound on the detection stride (strides double: 1, 2, 4, ...).
+    max_stride: int = 8
+    #: Minimum IoU between a track's predicted and detected box for the
+    #: sampled frame to count as agreeing with the prediction.
+    iou_tol: float = 0.5
+    #: Consecutive predictable sampled frames required before each doubling.
+    stable_frames: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_stride < 1:
+            raise ValueError("max_stride must be >= 1")
+        if not 0.0 < self.iou_tol <= 1.0:
+            raise ValueError("iou_tol must be in (0, 1]")
+        if self.stable_frames < 1:
+            raise ValueError("stable_frames must be >= 1")
+
+
+@dataclass(frozen=True)
 class AccuracyTarget:
     """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
 

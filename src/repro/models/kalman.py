@@ -64,6 +64,23 @@ class KalmanBoxFilter:
         self.time_since_update += 1
         return z_to_bbox(self.x[: self.MEAS_DIM])
 
+    def predict_ahead(self, steps: int = 1) -> BBox:
+        """The box ``steps`` transitions ahead, *without* advancing the state.
+
+        Used by the scan scheduler's stride sampler to ask "where would this
+        object be on a frame we have not detected on" — unlike
+        :meth:`predict`, repeated calls do not accumulate into the filter, so
+        probing a skipped frame never perturbs the tracker.  Note the step
+        unit is *filter updates*, not frames: under stride sampling the
+        filter's velocity is learned per sampled frame.
+        """
+        x = self.x.copy()
+        for _ in range(max(int(steps), 0)):
+            if x[2] + x[6] <= 0:
+                x[6] = 0.0
+            x = self.F @ x
+        return z_to_bbox(x[: self.MEAS_DIM])
+
     def update(self, bbox: BBox) -> None:
         """Fold a new measurement into the state."""
         z = bbox_to_z(bbox)

@@ -31,6 +31,9 @@ class Track:
     class_name: str
     detections: List[Detection] = field(default_factory=list)
     misses: int = 0
+    #: The Kalman filter tracking this object (None for trackers without a
+    #: motion model, e.g. :class:`IoUTracker`).
+    kalman: Optional[KalmanBoxFilter] = None
 
     @property
     def last_detection(self) -> Detection:
@@ -41,12 +44,69 @@ class Track:
         return self.detections[-1].bbox
 
     @property
+    def last_frame_id(self) -> int:
+        return self.detections[-1].frame_id
+
+    @property
     def length(self) -> int:
         return len(self.detections)
 
     def bbox_history(self, n: int) -> List[BBox]:
         """The last ``n`` boxes, oldest first."""
         return [d.bbox for d in self.detections[-n:]]
+
+    # -- stride-sampling support --------------------------------------------
+    def velocity_per_frame(self) -> tuple[float, float]:
+        """Centre velocity in pixels *per frame* (not per tracker update).
+
+        Derived from the last two recorded detections and their frame ids,
+        so it stays correct when the tracker is only updated on sampled
+        frames (the Kalman state's velocity is per *update* and would be
+        ``stride``× too large).  Falls back to the Kalman velocity, then to
+        zero, when the track is too short.
+        """
+        if len(self.detections) >= 2:
+            prev, last = self.detections[-2], self.detections[-1]
+            dt = max(last.frame_id - prev.frame_id, 1)
+            (px, py), (lx, ly) = prev.bbox.center, last.bbox.center
+            return ((lx - px) / dt, (ly - py) / dt)
+        if self.kalman is not None:
+            return self.kalman.velocity
+        return (0.0, 0.0)
+
+    def interpolate(
+        self,
+        frame_id: int,
+        future_bbox: Optional[BBox] = None,
+        future_frame_id: Optional[int] = None,
+    ) -> BBox:
+        """The track's box on ``frame_id`` without a detection there.
+
+        With a known future endpoint (the matched detection on the next
+        sampled frame) the box is linearly interpolated between the last
+        detection and that endpoint — this is how the scan scheduler fills
+        the frames a raised stride skipped.  Without one it extrapolates:
+        constant per-frame velocity from the detection history, or the
+        (non-mutating) Kalman prediction for single-detection tracks — this
+        is how predicted positions are validated against fresh detections.
+        """
+        last = self.last_detection
+        if frame_id <= last.frame_id:
+            return last.bbox
+        if future_bbox is not None and future_frame_id is not None and future_frame_id > last.frame_id:
+            t = min((frame_id - last.frame_id) / (future_frame_id - last.frame_id), 1.0)
+            a, b = last.bbox, future_bbox
+            return BBox(
+                a.x1 + (b.x1 - a.x1) * t,
+                a.y1 + (b.y1 - a.y1) * t,
+                a.x2 + (b.x2 - a.x2) * t,
+                a.y2 + (b.y2 - a.y2) * t,
+            )
+        steps = frame_id - last.frame_id
+        if len(self.detections) < 2 and self.kalman is not None:
+            return self.kalman.predict_ahead(steps)
+        vx, vy = self.velocity_per_frame()
+        return self.last_bbox.translated(vx * steps, vy * steps)
 
 
 class KalmanTracker(SimulatedModel):
@@ -121,7 +181,12 @@ class KalmanTracker(SimulatedModel):
             self._next_track_id += 1
             self._filters[tid] = KalmanBoxFilter(det.bbox)
             tracked = det.with_track(tid)
-            self._tracks[tid] = Track(track_id=tid, class_name=det.class_name, detections=[tracked])
+            self._tracks[tid] = Track(
+                track_id=tid,
+                class_name=det.class_name,
+                detections=[tracked],
+                kalman=self._filters[tid],
+            )
             out[det_idx] = tracked
 
         for tid in unmatched_tracks:
