@@ -1,17 +1,26 @@
-"""Amber-alert style query with registered optimizations (§4.2, §4.4).
+"""Amber-alert: registered optimizations, then a multi-camera manhunt.
 
-Searches for a red car whose license plate ends in "45" — both intrinsic
-properties, so object-level computation reuse applies — and shows how the
-RedCar VObj's registered binary classifier and specialized detector give the
-planner alternative execution paths to profile.
+Stage 1 is the single-camera query of the paper (§4.2, §4.4): a red car
+whose license plate ends in "45" — both intrinsic properties, so
+object-level computation reuse applies — with the RedCar VObj's registered
+binary classifier and specialized detector giving the planner alternative
+execution paths to profile.
+
+Stage 2 is what an amber alert actually needs: the same vehicle chased
+across a *network* of cameras.  Cross-camera re-identification links each
+camera's tracks into global identities, and the alert becomes a
+cross-camera sequence query: "the suspect car on the first camera, then the
+same car downstream within a minute".
 
 Run with:  python examples/amber_alert.py
 """
 
-from repro import QuerySession, PlannerConfig
+from repro import MultiCameraSession, QuerySession, PlannerConfig
+from repro.backend.crosscamera import CrossCameraSequence
 from repro.frontend import Query
 from repro.frontend.builtin import RedCar
 from repro.videosim import datasets
+from repro.videosim.multicam import CameraPlacement, handoff_scenario
 
 
 class AmberAlertQuery(Query):
@@ -31,12 +40,22 @@ class AmberAlertQuery(Query):
         return (self.car.track_id, self.car.license_plate, self.car.bbox)
 
 
-def main() -> None:
-    video = datasets.camera_clip("jackson", duration_s=90, seed=11)
+class RedCarSightingQuery(Query):
+    """Any red-car sighting (the per-camera side of the chase)."""
 
-    # Let the planner profile alternative DAGs (general detector + color
-    # filter vs the registered specialized red-car detector, with the
-    # "no_red_on_road" binary classifier in front) on a canary prefix.
+    def __init__(self):
+        self.car = RedCar("red_car")
+
+    def frame_constraint(self):
+        return (self.car.score > 0.5) & (self.car.color == "red")
+
+    def frame_output(self):
+        return (self.car.track_id, self.car.license_plate)
+
+
+def main() -> None:
+    # ---- stage 1: the classic single-camera query with planner profiling --
+    video = datasets.camera_clip("jackson", duration_s=90, seed=11)
     config = PlannerConfig(profile_plans=True, canary_frames=45)
     session = QuerySession(video, config=config)
 
@@ -50,6 +69,45 @@ def main() -> None:
     print(f"matched frames : {len(result.matched_frames)}")
     print(f"virtual runtime: {result.total_ms / 1000:.2f} s "
           f"(reuse avoided {result.reuse_hits} property computations)")
+
+    # ---- stage 2: chain the cameras along the alert corridor -------------
+    scenario = handoff_scenario(
+        cameras=(
+            CameraPlacement("school_zone", fps=15, start_offset_s=0.0),
+            CameraPlacement("main_street", fps=10, start_offset_s=5.0),
+            CameraPlacement("interstate_onramp", fps=20, start_offset_s=10.0),
+        ),
+        num_entities=2,
+        dwell_s=5.0,
+        travel_gap_s=8.0,
+        background_vehicles_per_minute=5.0,
+        seed=45,
+    )
+    chase_config = PlannerConfig(profile_plans=False, enable_cross_camera_reid=True)
+    network = MultiCameraSession(
+        scenario.videos, config=chase_config, start_offsets=scenario.start_offsets
+    )
+    alert = CrossCameraSequence(
+        RedCarSightingQuery(),
+        first_camera="school_zone",
+        max_gap_s=60.0,
+    )
+    pairs = network.execute_sequence(alert)
+    timeline = network.timeline()
+
+    print("\namber alert across the camera network:")
+    print(f"  cameras: {', '.join(network.cameras)}")
+    print(f"  identities linked: {network.last_links.num_identities}")
+    if not pairs:
+        print("  suspect not re-acquired downstream")
+    for pair in pairs:
+        (cam_a, ev_a), (cam_b, ev_b) = pair.segments
+        lost = timeline.event_interval(cam_a, ev_a)[1]
+        found = timeline.event_interval(cam_b, ev_b)[0]
+        print(
+            f"  identity {pair.global_id}: left {cam_a} at {lost:.1f}s, "
+            f"re-acquired on {cam_b} at {found:.1f}s (+{found - lost:.1f}s)"
+        )
 
 
 if __name__ == "__main__":

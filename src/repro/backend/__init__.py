@@ -1,6 +1,17 @@
 """VQPy backend: the object-centric optimization framework (paper §4)."""
 
 from repro.backend.analysis import QueryAnalysis, analyze_query
+from repro.backend.crosscamera import (
+    CrossCameraLinks,
+    CrossCameraSequence,
+    GlobalEvent,
+    GlobalTimeline,
+    ReidMatcher,
+    TrackProfile,
+    pair_cross_camera_events,
+    reid_identity_scores,
+    stitch_global_events,
+)
 from repro.backend.executor import Executor, extract_events
 from repro.backend.graph import FrameGraph, RelationEdge, VObjNode
 from repro.backend.operators import (
@@ -32,6 +43,15 @@ from repro.backend.streaming import (
 __all__ = [
     "QueryAnalysis",
     "analyze_query",
+    "CrossCameraLinks",
+    "CrossCameraSequence",
+    "GlobalEvent",
+    "GlobalTimeline",
+    "ReidMatcher",
+    "TrackProfile",
+    "pair_cross_camera_events",
+    "reid_identity_scores",
+    "stitch_global_events",
     "Executor",
     "extract_events",
     "FrameGraph",

@@ -55,8 +55,21 @@ class Executor:
         self.config = config or PlannerConfig()
 
     # ------------------------------------------------------------- compilation --
-    def compile(self, query: Query, video: SyntheticVideo, planner: Planner) -> QueryStream:
-        """Compile any query (including higher-order compositions) to a stream."""
+    def compile(
+        self,
+        query: Query,
+        video: SyntheticVideo,
+        planner: Planner,
+        ensure_events: bool = False,
+    ) -> QueryStream:
+        """Compile any query (including higher-order compositions) to a stream.
+
+        With ``ensure_events`` a bare basic query gets a default event
+        grouper attached, so its result carries grouped events off the same
+        single scan (cross-camera linking consumes them).  Higher-order
+        streams already produce events; their children keep the groupers
+        their composition layer attaches.
+        """
         gated = self.config.enable_scan_gating
         limit = self._stream_limit(query)
         if isinstance(query, TemporalQuery):
@@ -77,7 +90,10 @@ class Executor:
                 max_gap=query.max_gap_frames,
                 limit=limit,
             )
-        return PlanStream(planner.plan(query, video), self, gated=gated, limit=limit)
+        stream = PlanStream(planner.plan(query, video), self, gated=gated, limit=limit)
+        if ensure_events:
+            stream.ensure_event_stream()
+        return stream
 
     def _stream_limit(self, query: Query) -> Optional[int]:
         """The query's result bound, when the stream can honour it.
@@ -162,13 +178,17 @@ class Executor:
         video: SyntheticVideo,
         ctx: ExecutionContext,
         planner: Planner,
+        ensure_events: bool = False,
     ) -> List[QueryResult]:
         """Execute a mixed batch of queries in exactly one video scan."""
         # Let the planner's cost model see the whole batch: frame filters
         # hoisted into the scan gate are paid once per batch, and candidate
         # pricing must reflect that sharing (gate-aware cost model).
         planner.begin_batch(queries)
-        streams = [self.compile(query, video, planner) for query in queries]
+        streams = [
+            self.compile(query, video, planner, ensure_events=ensure_events)
+            for query in queries
+        ]
         return self.execute_streams(streams, video, ctx)
 
     # ------------------------------------------------------------------- sink --

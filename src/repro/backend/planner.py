@@ -37,7 +37,7 @@ from repro.backend.operators import (
     VObjFilterOp,
 )
 from repro.backend.plan import QueryPlan
-from repro.common.config import AccuracyTarget, StrideConfig
+from repro.common.config import AccuracyTarget, ReidConfig, StrideConfig
 from repro.common.errors import PlanError
 from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
 from repro.frontend.query import Query
@@ -103,9 +103,31 @@ class PlannerConfig:
     #: The cost model's prior for the fraction of a workload's frames that
     #: are tracker-predictable (drives the expected sampling discount).
     stride_stable_fraction: float = 0.5
+    #: Cross-camera re-identification: after a multi-camera execution, link
+    #: tracks across feeds by cosine-matching their (cached) re-id
+    #: embeddings, and thread global identity labels plus a wall-clock
+    #: timeline into the merged results (off = PR-4 behaviour, feeds stay
+    #: unlinked and merged events sort by frame id).
+    enable_cross_camera_reid: bool = False
+    #: Minimum cosine similarity for two tracks to share a global identity.
+    reid_threshold: float = 0.7
+    #: Gallery assignment strategy: "hungarian" (optimal) or "greedy".
+    reid_assignment: str = "hungarian"
+    #: Clock-skew tolerance between feeds: cross-camera gap windows widen by
+    #: this much and near-contiguous per-camera segments stitch together.
+    max_clock_skew_s: float = 0.5
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
+
+    def reid(self) -> "ReidConfig":
+        """The cross-camera re-identification knobs as a ReidConfig."""
+        return ReidConfig(
+            enabled=self.enable_cross_camera_reid,
+            threshold=self.reid_threshold,
+            assignment=self.reid_assignment,
+            max_clock_skew_s=self.max_clock_skew_s,
+        )
 
     def stride(self) -> "StrideConfig":
         """The scan scheduler's stride-sampling knobs as a StrideConfig."""

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.backend.crosscamera import CrossCameraLinks, GlobalEvent, GlobalTimeline
 
 
 @dataclass(frozen=True)
@@ -122,6 +125,12 @@ class MultiCameraResult:
     query_name: str
     #: camera name -> that feed's QueryResult (insertion-ordered).
     per_camera: Dict[str, QueryResult] = field(default_factory=dict)
+    #: Cross-camera identity links (set by the session when
+    #: ``enable_cross_camera_reid`` is on; None otherwise).
+    links: Optional["CrossCameraLinks"] = None
+    #: The wall-clock timeline the feeds are aligned on (set alongside
+    #: ``links``; None keeps the frame-ordered PR-4 merge semantics).
+    timeline: Optional["GlobalTimeline"] = None
 
     def camera(self, name: str) -> QueryResult:
         try:
@@ -157,7 +166,12 @@ class MultiCameraResult:
     def merged_events(self) -> List[Tuple[str, Event]]:
         """All events across feeds, tagged with their camera, in time order.
 
-        Ties on (start, end) are broken by camera name so the merge is
+        Without a timeline, "time" is the feed-local frame id (the PR-4
+        merge; only meaningful when the feeds are frame-aligned).  When the
+        session attached a :class:`GlobalTimeline` (cross-camera re-id
+        runs), events order by their wall-clock interval instead, so feeds
+        with different frame rates and start offsets interleave correctly.
+        Ties break by camera name either way, keeping the merge
         deterministic regardless of per-feed event counts.
         """
         tagged = [
@@ -165,8 +179,56 @@ class MultiCameraResult:
             for name, result in self.per_camera.items()
             for event in result.events
         ]
+        if self.timeline is not None:
+            return self.timeline.order_events(tagged)
         tagged.sort(key=lambda pair: (pair[1].start_frame, pair[1].end_frame, pair[0]))
         return tagged
+
+    # -- cross-camera views (require enable_cross_camera_reid) ----------------
+    def global_tracks(self) -> Dict[int, List[Tuple[str, int]]]:
+        """global identity -> this query's (camera, track_id) sightings.
+
+        Restricted to tracks that actually appear in this query's match
+        records; the session-wide assignment (every track of every feed)
+        lives on ``links.global_tracks()``.
+        """
+        from repro.backend.crosscamera import require_links
+
+        links = require_links(self.links, "MultiCameraResult.global_tracks()")
+        out: Dict[int, List[Tuple[str, int]]] = {}
+        for camera, result in self.per_camera.items():
+            for _, track_id in sorted(result.distinct_tracks(), key=lambda t: t[1]):
+                gid = links.identities.get((camera, track_id))
+                if gid is not None and (camera, track_id) not in out.get(gid, ()):
+                    out.setdefault(gid, []).append((camera, track_id))
+        return {gid: members for gid, members in sorted(out.items())}
+
+    def global_events(self, max_gap_s: Optional[float] = None) -> List["GlobalEvent"]:
+        """Per-identity spans stitching this query's events across cameras.
+
+        ``max_gap_s`` splits an identity's story when it goes unseen longer
+        than that (plus the clock-skew tolerance); the default ``None``
+        keeps each identity's whole sighting history as one span.
+        """
+        from repro.backend.crosscamera import require_links, stitch_global_events
+
+        links = require_links(self.links, "MultiCameraResult.global_events()")
+        if self.timeline is None:
+            raise ValueError("global_events() needs the session's GlobalTimeline")
+        return stitch_global_events(self.merged_events(), links, self.timeline, max_gap_s)
+
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Per-account virtual-ms summed across feeds.
+
+        Each feed's breakdown covers the scan the query ran in (shared with
+        its batch mates, like ``QueryResult.cost_breakdown``); the sum here
+        is the multi-camera view of that same accounting.
+        """
+        merged: Dict[str, float] = {}
+        for result in self.per_camera.values():
+            for account, ms in result.cost_breakdown.items():
+                merged[account] = merged.get(account, 0.0) + ms
+        return dict(sorted(merged.items(), key=lambda kv: -kv[1]))
 
     def merged_aggregates(self) -> Dict[str, Any]:
         """Combine per-camera aggregates under each label, by aggregate kind.

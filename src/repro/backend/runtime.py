@@ -51,6 +51,10 @@ class TrackState:
         self._history: Dict[str, deque] = {}
         self._history_frames: Dict[str, int] = {}
         self.intrinsic_values: Dict[str, Any] = {}
+        #: Frame each cached intrinsic was computed on (its provenance —
+        #: consumers can tell values backed by a real observation from ones
+        #: computed over an interpolation-seeded detection).
+        self.intrinsic_frames: Dict[str, int] = {}
         self.first_frame_id: Optional[int] = None
         self.last_frame_id: Optional[int] = None
 
@@ -158,6 +162,7 @@ class VObjState:
 
         if reusable:
             self.track_state.intrinsic_values[spec.name] = value
+            self.track_state.intrinsic_frames[spec.name] = self.frame.frame_id
         return value
 
     def _resolve_stateful(self, spec: PropertySpec) -> Any:
@@ -330,6 +335,23 @@ class ExecutionContext:
         #: retired, early-exit frame); None before any scan ran.
         self.scan_stats: Optional[Any] = None
 
+        #: Last *real* (tracker-observed) detection per track id, plus the
+        #: frame each track was first seen on.  These survive frame-cache
+        #: eviction so cross-camera re-identification can embed a track long
+        #: after its frames were released; interpolation-seeded frames never
+        #: pass through the tracker, so they can never land here.
+        self._track_sources: Dict[int, Detection] = {}
+        self._track_first_seen: Dict[int, int] = {}
+        #: track id -> the (tracker, detector) pairs that emitted it.  Each
+        #: pair's tracker numbers tracks from 1, so a batch running several
+        #: pairs can reuse the same id for different physical objects; ids
+        #: seen from more than one pair are ambiguous and excluded from
+        #: cross-camera linking.
+        self._track_id_pairs: Dict[int, set] = {}
+        #: Frame ids whose detector/tracker caches were interpolation-seeded
+        #: by the stride sampler (never detector-observed).
+        self.seeded_frames: set = set()
+
         # Per-frame caches are indexed by frame id first, so releasing a
         # frame pops one bucket in O(1) instead of rebuilding whole dicts.
         self._detections: Dict[int, Dict[str, List[Detection]]] = {}
@@ -371,6 +393,11 @@ class ExecutionContext:
                 self._trackers[key] = self.zoo.get(tracker_name, fresh=True)
             tracker = self._trackers[key]
             per_frame[key] = tracker.update(list(detections), self.clock)
+            for det in per_frame[key]:
+                if det.track_id is not None:
+                    self._track_first_seen.setdefault(det.track_id, frame.frame_id)
+                    self._track_sources[det.track_id] = det
+                    self._track_id_pairs.setdefault(det.track_id, set()).add(key)
         return per_frame[key]
 
     def peek_tracker(self, tracker_name: str, detector_name: str) -> Optional[Any]:
@@ -401,6 +428,7 @@ class ExecutionContext:
         per_frame.setdefault(detector_name, list(detections))
         tracked = self._tracked.setdefault(frame_id, {})
         tracked.setdefault(tracker_key, list(detections))
+        self.seeded_frames.add(frame_id)
 
     def interactions(self, model_name: str, subject: Detection, object_: Detection, frame: Frame) -> Tuple[str, ...]:
         per_frame = self._interactions.setdefault(frame.frame_id, {})
@@ -410,6 +438,56 @@ class ExecutionContext:
             preds = model.predict([subject], [object_], frame, self.clock)
             per_frame[key] = tuple(p.kind for p in preds)
         return per_frame[key]
+
+    # -- cross-camera re-identification support ------------------------------------
+    def track_sources(self) -> Dict[int, Detection]:
+        """Last real tracked detection per track id, across the whole scan.
+
+        Only tracker-observed detections land here — frames filled by stride
+        interpolation are seeded past the tracker and therefore cannot
+        contribute a source (re-id must never embed a synthesized crop).
+        Track ids are unique per (tracker, detector) pair; ids a batch saw
+        from several pairs are ambiguous (see :meth:`ambiguous_track_ids`)
+        and here the most recently updated pair wins.
+        """
+        return dict(self._track_sources)
+
+    def ambiguous_track_ids(self) -> set:
+        """Track ids emitted by more than one (tracker, detector) pair.
+
+        Each pair's tracker numbers its tracks independently from 1, so a
+        batch whose plans resolve to different detectors can reuse one id
+        for two different physical objects.  Such ids cannot be attributed
+        to a single object and are excluded from cross-camera linking.
+        """
+        return {tid for tid, pairs in self._track_id_pairs.items() if len(pairs) > 1}
+
+    def track_first_seen(self, track_id: int) -> Optional[int]:
+        """Frame id a track was first observed on (None for unknown tracks)."""
+        return self._track_first_seen.get(track_id)
+
+    def intrinsic_track_values(
+        self, prop_name: str, exclude_frames: Optional[set] = None
+    ) -> Dict[int, Any]:
+        """Cached intrinsic values of ``prop_name``, keyed by track id.
+
+        This is the object-level reuse cache (§4.2) read sideways: when a
+        query already computed a track's re-id embedding, cross-camera
+        linking reuses the cached value instead of invoking the embedding
+        model again.  ``exclude_frames`` drops values whose recorded
+        computation frame is in the set — linking passes the interpolation-
+        seeded frames here, since a value computed over a synthesized
+        detection is not a real observation.  If several VObj types cached
+        the property for the same track id, the first one (iteration order)
+        wins.
+        """
+        out: Dict[int, Any] = {}
+        for (_vobj_type, track_id), state in self._track_states.items():
+            if prop_name in state.intrinsic_values and track_id not in out:
+                if exclude_frames and state.intrinsic_frames.get(prop_name) in exclude_frames:
+                    continue
+                out[track_id] = state.intrinsic_values[prop_name]
+        return out
 
     # -- state management --------------------------------------------------------------
     def track_state(self, vobj_type: type, track_id: Optional[int]) -> Optional[TrackState]:

@@ -28,13 +28,23 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.backend.crosscamera import (
+    CrossCameraLinks,
+    CrossCameraSequence,
+    GlobalEvent,
+    GlobalTimeline,
+    ReidMatcher,
+    TrackProfile,
+    build_track_profiles,
+    pair_cross_camera_events,
+)
 from repro.backend.executor import Executor
 from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
 from repro.backend.results import MultiCameraResult, QueryResult
 from repro.backend.runtime import ExecutionContext
 from repro.common.clock import SimClock
-from repro.common.errors import PlanError
+from repro.common.errors import ExecutionError, PlanError
 from repro.frontend.higher_order import TemporalQuery
 from repro.frontend.query import Query
 from repro.frontend.registry import get_library_zoo
@@ -89,18 +99,27 @@ class QuerySession:
         """Execute one query over the session's video (one streaming pass)."""
         return self.execute_many([query], clock=clock)[0]
 
-    def execute_many(self, queries: Sequence[Query], clock: Optional[SimClock] = None) -> List[QueryResult]:
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        clock: Optional[SimClock] = None,
+        ensure_events: bool = False,
+    ) -> List[QueryResult]:
         """Execute several queries in a single pass with shared computation.
 
         All queries — basic, spatial, duration, and temporal — compile to
         streams driven by one video scan over one shared execution context,
         so per-frame model results (detector, tracker, properties) are
         computed exactly once per (model, frame) across the whole batch.
+        With ``ensure_events`` even bare basic queries group their matches
+        into events during the scan (cross-camera linking needs them).
         """
         ctx = self._new_context(clock)
         self.last_context = ctx
         self.last_multi = None
-        return self.executor.execute_queries(list(queries), self.video, ctx, self.planner)
+        return self.executor.execute_queries(
+            list(queries), self.video, ctx, self.planner, ensure_events=ensure_events
+        )
 
     def execute_over(
         self,
@@ -108,6 +127,7 @@ class QuerySession:
         queries: Sequence[Query],
         include_self: bool = True,
         max_workers: Optional[int] = None,
+        start_offsets: Optional[Mapping[str, float]] = None,
     ) -> List[MultiCameraResult]:
         """Shard the query set across several feeds and merge the results.
 
@@ -117,12 +137,20 @@ class QuerySession:
         feed gets its own execution context but performs the same
         single-pass batched execution as :meth:`execute_many`; feeds run
         concurrently (``max_workers=1`` forces serial execution).
+        ``start_offsets`` (camera name -> seconds) places each feed on the
+        shared wall clock for cross-camera linking.
         """
         feeds = _named_feeds(videos)
         if include_self:
             own = _unique_name(self.video.spec.name, feeds)
             feeds = {own: self.video, **feeds}
-        multi = MultiCameraSession(feeds, zoo=self.zoo, config=self.config, max_workers=max_workers)
+        multi = MultiCameraSession(
+            feeds,
+            zoo=self.zoo,
+            config=self.config,
+            max_workers=max_workers,
+            start_offsets=start_offsets,
+        )
         results = multi.execute_many(queries)
         # Reporting follows the most recent execution: keep the multi session
         # reachable (per-feed costs) and stop pointing at a stale context.
@@ -171,6 +199,15 @@ class MultiCameraSession:
     instances, so per-feed results are bit-identical to a serial run — and
     results are merged in feed insertion order, so the merge stays
     deterministic regardless of completion order.
+
+    With ``enable_cross_camera_reid`` on (:class:`PlannerConfig`), every
+    execution additionally links the feeds' tracks into global identities
+    (:meth:`link_tracks`) and aligns their events on a shared wall clock
+    built from each feed's frame rate and ``start_offsets`` — unlocking
+    ``global_tracks()`` / ``global_events()`` on the merged results and the
+    cross-camera temporal operator (:meth:`execute_sequence`).  Linking runs
+    after the per-feed scans join, in feed insertion order, so the identity
+    assignment is deterministic regardless of ``max_workers``.
     """
 
     def __init__(
@@ -179,6 +216,7 @@ class MultiCameraSession:
         zoo: Optional[ModelZoo] = None,
         config: Optional[PlannerConfig] = None,
         max_workers: Optional[int] = None,
+        start_offsets: Optional[Mapping[str, float]] = None,
     ) -> None:
         feeds = _named_feeds(videos)
         if not feeds:
@@ -192,6 +230,20 @@ class MultiCameraSession:
             name: QuerySession(video, zoo=self.zoo, config=self.config)
             for name, video in feeds.items()
         }
+        offsets = dict(start_offsets or {})
+        unknown = set(offsets) - set(self.sessions)
+        if unknown:
+            raise ValueError(f"start offsets for unknown feeds: {sorted(unknown)}")
+        #: Camera name -> wall-clock second its frame 0 was captured at.
+        self.start_offsets: Dict[str, float] = {
+            name: float(offsets.get(name, 0.0)) for name in self.sessions
+        }
+        #: Clock charged for cross-camera work (embedding cache misses and
+        #: the matcher itself); separate from the per-feed scan clocks.
+        self.link_clock = SimClock()
+        #: The identity links of the most recent execution (None until a
+        #: re-id-enabled run happens).
+        self.last_links: Optional[CrossCameraLinks] = None
 
     @property
     def cameras(self) -> List[str]:
@@ -202,48 +254,159 @@ class MultiCameraSession:
             return max(1, self.max_workers)
         return max(1, min(len(self.sessions), os.cpu_count() or 1))
 
+    def timeline(self) -> GlobalTimeline:
+        """The shared wall-clock axis the feeds' events are aligned on."""
+        return GlobalTimeline(
+            {name: session.video.fps for name, session in self.sessions.items()},
+            self.start_offsets,
+            max_clock_skew_s=self.config.max_clock_skew_s,
+        )
+
     def execute(self, query: Query) -> MultiCameraResult:
         """Execute one query across every feed."""
         return self.execute_many([query])[0]
 
     def execute_many(self, queries: Sequence[Query]) -> List[MultiCameraResult]:
-        """Execute a query batch across every feed (one parallel pass per feed)."""
+        """Execute a query batch across every feed (one parallel pass per feed).
+
+        When cross-camera re-id is enabled the feeds' tracks are linked
+        after the scans complete, and every merged result carries the
+        identity links plus the wall-clock timeline (``global_tracks()``,
+        wall-clock-ordered ``merged_events()``, ``global_events()``).
+        """
         queries = list(queries)
+        reid_enabled = self.config.enable_cross_camera_reid
         merged = [MultiCameraResult(query_name=q.query_name) for q in queries]
         names = list(self.sessions)
         workers = self._worker_count()
         if workers <= 1 or len(names) <= 1:
-            per_feed = [self.sessions[name].execute_many(queries) for name in names]
+            per_feed = [
+                self.sessions[name].execute_many(queries, ensure_events=reid_enabled)
+                for name in names
+            ]
         else:
             with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="camera-feed") as pool:
-                futures = [pool.submit(self.sessions[name].execute_many, queries) for name in names]
+                futures = [
+                    pool.submit(
+                        self.sessions[name].execute_many, queries, ensure_events=reid_enabled
+                    )
+                    for name in names
+                ]
                 per_feed = [future.result() for future in futures]
         for name, results in zip(names, per_feed):
             for result, holder in zip(results, merged):
                 holder.per_camera[name] = result
+        if reid_enabled:
+            links = self.link_tracks()
+            timeline = self.timeline()
+            for holder in merged:
+                holder.links = links
+                holder.timeline = timeline
         return merged
 
+    # -- cross-camera re-identification -----------------------------------------
+    def link_tracks(self) -> CrossCameraLinks:
+        """Re-identify the most recent execution's tracks across all feeds.
+
+        Embeddings are reused from the object-level cache wherever a feed's
+        pipelines already computed the ``feature_vector`` intrinsic; cache
+        misses invoke the re-id model once per track on its last *real*
+        detection (interpolation-seeded frames never contribute sources).
+        All cross-camera work — embedding misses and the matcher — is
+        charged to :attr:`link_clock`, which is reset here so it always
+        reports the most recent link run (matching the per-feed clocks,
+        which are fresh per execution).
+        """
+        self.link_clock.reset()
+        reid_cfg = self.config.reid()
+        model = self.zoo.get(reid_cfg.reid_model)
+        profiles: Dict[str, List[TrackProfile]] = {}
+        for name, session in self.sessions.items():
+            ctx = session.last_context
+            if ctx is None:
+                raise ExecutionError(
+                    f"link_tracks needs a prior execution, but feed {name!r} has not run yet"
+                )
+            profiles[name] = build_track_profiles(
+                name, ctx, reid_cfg, model, clock=self.link_clock
+            )
+        matcher = ReidMatcher(reid_cfg, clock=self.link_clock)
+        links = matcher.link(profiles)
+        self.last_links = links
+        return links
+
+    def execute_sequence(self, sequence: CrossCameraSequence) -> List[GlobalEvent]:
+        """Run the cross-camera temporal operator over all feeds.
+
+        Both hops execute through the ordinary streaming machinery (the
+        whole per-feed batch is still one adaptive scan); the resulting
+        events are then paired across cameras on the wall clock, requiring
+        a shared global identity unless the sequence disabled that.
+        Requires ``enable_cross_camera_reid``.
+        """
+        if not self.config.enable_cross_camera_reid:
+            raise ExecutionError(
+                "execute_sequence needs cross-camera re-identification: enable it "
+                "with PlannerConfig(enable_cross_camera_reid=True)"
+            )
+        merged = self.execute_many(sequence.queries)
+        first = merged[0]
+        second = merged[-1]
+        assert first.links is not None and first.timeline is not None
+        return pair_cross_camera_events(
+            first.merged_events(),
+            second.merged_events(),
+            first.links,
+            first.timeline,
+            sequence,
+        )
+
     def cost_breakdown(self) -> Dict[str, Dict[str, float]]:
-        """Per-camera virtual-ms breakdown of the last execution."""
-        return {name: session.cost_breakdown() for name, session in self.sessions.items()}
+        """Per-camera virtual-ms breakdown of the last execution.
+
+        Cross-camera work (embedding cache misses, the re-id matcher) is
+        reported under the synthetic ``"<cross-camera>"`` feed when any was
+        charged.
+        """
+        out = {name: session.cost_breakdown() for name, session in self.sessions.items()}
+        if self.link_clock.elapsed_ms > 0:
+            out["<cross-camera>"] = self.link_clock.breakdown()
+        return out
 
 
 def _named_feeds(
     videos: Union[Mapping[str, SyntheticVideo], Sequence[SyntheticVideo]],
 ) -> Dict[str, SyntheticVideo]:
-    """Normalise a feed collection to an ordered name -> video mapping."""
+    """Normalise a feed collection to an ordered name -> video mapping.
+
+    Duplicate basenames are disambiguated with ``#2``/``#3``/… suffixes.
+    Synthesized aliases also avoid every *natural* spec name in the
+    collection: in ``[cam, cam, cam#2]`` the second ``cam`` becomes
+    ``cam#3``, never ``cam#2`` — an alias must not shadow a real feed's
+    name, or ``result.camera("cam#2")`` would address the wrong video.
+    """
     if isinstance(videos, Mapping):
         return dict(videos)
+    videos = list(videos)
+    reserved = {video.spec.name for video in videos}
     feeds: Dict[str, SyntheticVideo] = {}
     for video in videos:
-        feeds[_unique_name(video.spec.name, feeds)] = video
+        base = video.spec.name
+        name = base if base not in feeds else _unique_name(base, feeds, reserved)
+        feeds[name] = video
     return feeds
 
 
-def _unique_name(base: str, taken: Mapping[str, SyntheticVideo]) -> str:
-    if base not in taken:
+def _unique_name(
+    base: str,
+    taken: Mapping[str, SyntheticVideo],
+    reserved: Optional[set] = None,
+) -> str:
+    """A name not colliding with ``taken`` keys nor the ``reserved`` names."""
+    reserved = reserved or set()
+    if base not in taken and base not in reserved:
         return base
     suffix = 2
-    while f"{base}#{suffix}" in taken:
+    while f"{base}#{suffix}" in taken or f"{base}#{suffix}" in reserved:
         suffix += 1
     return f"{base}#{suffix}"

@@ -251,6 +251,11 @@ class PlanStream(QueryStream):
         self.limit = limit
         self.result = QueryResult(query_name=plan.query_name, plan_variant=plan.variant)
         self._grouper: Optional[OnlineEventGrouper] = None
+        #: True when the grouper was attached by :meth:`ensure_event_stream`
+        #: (events belong to THIS stream's result and must honour its bound)
+        #: rather than by a composition layer (whose pairing needs the full,
+        #: untruncated event stream of a bounded child).
+        self._grouper_ensured = False
 
     @property
     def query_name(self) -> str:
@@ -261,6 +266,20 @@ class PlanStream(QueryStream):
         if self._grouper is not None:
             raise ValueError(f"{self.plan.query_name}: event stream already attached")
         self._grouper = OnlineEventGrouper(max_gap=max_gap, min_length=min_length)
+        return self._grouper
+
+    def ensure_event_stream(self, max_gap: int = 5, min_length: int = 1) -> OnlineEventGrouper:
+        """The attached grouper, attaching a default one if none exists yet.
+
+        Cross-camera linking needs events from *every* stream in the batch —
+        including bare basic queries that would otherwise only report
+        per-frame matches — without a second pass over the matches.  Unlike
+        :meth:`event_stream` this is idempotent, so a composition layer that
+        attached its own grouper keeps it.
+        """
+        if self._grouper is None:
+            self._grouper = OnlineEventGrouper(max_gap=max_gap, min_length=min_length)
+            self._grouper_ensured = True
         return self._grouper
 
     def plan_streams(self) -> List["PlanStream"]:
@@ -320,8 +339,6 @@ class PlanStream(QueryStream):
         return self._grouper.end_watermark(frame_id)
 
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
-        if self._grouper is not None:
-            self.result.events = self._grouper.finish()
         if self.limit is not None:
             kept = self.result.matched_frames[: self.limit]
             self.result.matched_frames = kept
@@ -334,6 +351,32 @@ class PlanStream(QueryStream):
                 for frame_id, records in self.result.matches.items()
                 if frame_id in keep
             }
+        if self._grouper is not None:
+            if self.limit is None or not self._grouper_ensured:
+                # Composition-attached groupers deliberately ignore a child's
+                # matched-frame bound: temporal pairing consumes the child's
+                # FULL event stream (see "bounded children do not truncate
+                # temporal events" in the scheduler tests).
+                self.result.events = self._grouper.finish()
+            else:
+                # An ensure-attached grouper's events belong to this bounded
+                # result: the scan grouper may have seen matches the bound
+                # excludes — and how many depends on whether an early exit
+                # stopped the scan — so regroup over the kept matches, which
+                # are identical with early exit on or off.
+                finished = self._grouper.finish()
+                regrouped = OnlineEventGrouper(
+                    max_gap=self._grouper.max_gap, min_length=self._grouper.min_length
+                )
+                skipped = {f for event in finished for f in event.skipped_frames}
+                skipped.update(self._grouper._skipped)
+                for frame_id in sorted(skipped):
+                    regrouped.mark_skipped(frame_id)
+                for frame_id in sorted(self.result.matches):
+                    regrouped.observe(
+                        frame_id, (r.signature for r in self.result.matches[frame_id])
+                    )
+                self.result.events = regrouped.finish()
         return self.result
 
 

@@ -64,6 +64,54 @@ class StrideConfig:
 
 
 @dataclass(frozen=True)
+class ReidConfig:
+    """Cross-camera re-identification knobs (:mod:`repro.backend.crosscamera`).
+
+    When enabled, :class:`~repro.backend.session.MultiCameraSession` links
+    the tracks of its feeds after each execution: every track's cached (or
+    freshly computed) re-id embedding is cosine-matched against a gallery of
+    global identities, camera by camera, and the resulting identity labels
+    are threaded into the merged results (``global_tracks`` /
+    ``global_events`` / the cross-camera temporal operator).  Off by default:
+    the disabled path is byte-identical to the single-feed merge.
+    """
+
+    enabled: bool = False
+    #: Minimum cosine similarity for a track to join an existing identity.
+    threshold: float = 0.7
+    #: Assignment strategy when several tracks compete for the same gallery
+    #: identity: ``"hungarian"`` (optimal one-to-one) or ``"greedy"``.
+    assignment: str = "hungarian"
+    #: Tolerance for disagreeing camera clocks: cross-camera gap windows are
+    #: widened by this much, and global-event stitching treats per-camera
+    #: segments within this slack as contiguous.
+    max_clock_skew_s: float = 0.5
+    #: Zoo name of the embedding model used for tracks whose pipeline never
+    #: computed an embedding (cache misses).
+    reid_model: str = "reid_feature"
+    #: Intrinsic property name whose cached per-track values are reused as
+    #: embeddings before the model is ever invoked.
+    embedding_property: str = "feature_vector"
+    #: Track-quality gate: tracks observed over fewer frames than this are
+    #: excluded from linking.  Sliver tracks — one-frame fragments born at
+    #: the frame edge, or false-positive detections — carry unreliable
+    #: crops in real systems and would otherwise fragment identities.
+    min_track_frames: int = 3
+
+    _ASSIGNMENTS = ("hungarian", "greedy")
+
+    def __post_init__(self) -> None:
+        if not -1.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be a cosine similarity in (-1, 1]")
+        if self.assignment not in self._ASSIGNMENTS:
+            raise ValueError(f"assignment must be one of {self._ASSIGNMENTS}")
+        if self.max_clock_skew_s < 0:
+            raise ValueError("max_clock_skew_s must be non-negative")
+        if self.min_track_frames < 1:
+            raise ValueError("min_track_frames must be >= 1")
+
+
+@dataclass(frozen=True)
 class AccuracyTarget:
     """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
 

@@ -149,9 +149,7 @@ class FeatureVectorModel(SimulatedModel):
         """The noiseless gallery embedding of a ground-truth object."""
         return self._base_embedding(object_id)
 
-    def predict(self, detection: Detection, frame: Frame, clock: Optional[SimClock] = None) -> np.ndarray:
-        """Embedding of one detection crop (noisy per frame)."""
-        self.charge(clock)
+    def _embed(self, detection: Detection) -> np.ndarray:
         if detection.gt_object_id is None:
             rng = derive_rng(self.seed, self.name, "fp", detection.frame_id)
             v = rng.normal(size=self.DIM)
@@ -161,6 +159,16 @@ class FeatureVectorModel(SimulatedModel):
         v = base + rng.normal(scale=self.noise_sigma, size=self.DIM)
         return v / np.linalg.norm(v)
 
+    def predict(self, detection: Detection, frame: Frame, clock: Optional[SimClock] = None) -> np.ndarray:
+        """Embedding of one detection crop (noisy per frame)."""
+        self.charge(clock)
+        return self._embed(detection)
+
+    def predict_batch(self, detections: Sequence[Detection], frame: Optional[Frame] = None, clock: Optional[SimClock] = None) -> List[np.ndarray]:
+        """Embeddings for a batch of crops (one invocation, per-item cost)."""
+        self.charge(clock, n_items=len(detections))
+        return [self._embed(d) for d in detections]
+
     @staticmethod
     def similarity(a: np.ndarray, b: np.ndarray) -> float:
         """Cosine similarity between two embeddings."""
@@ -168,6 +176,23 @@ class FeatureVectorModel(SimulatedModel):
         if denom == 0:
             return 0.0
         return float(np.dot(a, b) / denom)
+
+    @staticmethod
+    def similarity_matrix(a: Sequence[np.ndarray], b: Sequence[np.ndarray]) -> np.ndarray:
+        """Pairwise cosine similarities: ``out[i, j] = cos(a[i], b[j])``.
+
+        Zero-norm vectors get similarity 0 against everything (matching
+        :meth:`similarity`); used by the cross-camera re-id matcher.
+        """
+        if not len(a) or not len(b):
+            return np.zeros((len(a), len(b)))
+
+        def _rows(vectors: Sequence[np.ndarray]) -> np.ndarray:
+            m = np.stack([np.asarray(v, dtype=float) for v in vectors])
+            norms = np.linalg.norm(m, axis=1, keepdims=True)
+            return np.divide(m, norms, out=np.zeros_like(m), where=norms > 0)
+
+        return _rows(a) @ _rows(b).T
 
 
 class DirectionEstimator(SimulatedModel):

@@ -23,6 +23,11 @@ from repro.videosim.trajectory import (
 )
 from repro.videosim.video import Frame, SyntheticVideo, VideoReader
 from repro.videosim.scene import SceneGenerator, TrafficSceneConfig
+from repro.videosim.multicam import (
+    CameraPlacement,
+    MultiCameraScenario,
+    handoff_scenario,
+)
 from repro.videosim import datasets
 
 __all__ = [
@@ -40,5 +45,8 @@ __all__ = [
     "VideoReader",
     "SceneGenerator",
     "TrafficSceneConfig",
+    "CameraPlacement",
+    "MultiCameraScenario",
+    "handoff_scenario",
     "datasets",
 ]

@@ -1,0 +1,223 @@
+"""Multi-camera scenario generation with shared ground-truth identities.
+
+Cross-camera workloads (the amber-alert chase, hit-and-run reconstruction)
+need the *same* physical entity to appear on several feeds — recorded at
+different frame rates, started at different wall-clock moments — with a
+known ground-truth identity, so re-identification accuracy is measurable.
+
+:func:`handoff_scenario` scripts exactly that: each entity crosses the
+cameras in order, dwelling ``dwell_s`` seconds on each and travelling
+(unseen) ``travel_gap_s`` seconds between them.  The entity keeps one
+``object_id`` across every feed, which is what makes the simulated
+``reid_feature`` model produce consistent embeddings for it — the same
+mechanism a real re-id model's appearance features provide.  Per-camera
+background traffic uses camera-disjoint id ranges so distractors can never
+share an identity across feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import VideoSpec
+from repro.common.rng import derive_rng
+from repro.videosim.entities import ObjectSpec
+from repro.videosim.scene import SceneGenerator, TrafficSceneConfig, _shifted
+from repro.videosim.trajectory import LinearTrajectory
+from repro.videosim.video import SyntheticVideo
+
+#: Scripted cross-camera entities use ids from this base, far above anything
+#: the background generators produce.
+ENTITY_ID_BASE = 800_000
+
+#: Background objects of camera ``k`` are offset by ``(k + 1) * this``, so a
+#: distractor on one feed never shares a ground-truth id (and therefore never
+#: a re-id embedding) with a distractor on another feed.
+BACKGROUND_ID_STRIDE = 10_000
+
+#: Default per-entity colours: distinct, so colour queries stay selective.
+DEFAULT_ENTITY_COLORS = ("red", "blue", "green", "white", "black", "silver", "gray")
+
+
+@dataclass(frozen=True)
+class CameraPlacement:
+    """One camera in a multi-feed scenario."""
+
+    name: str
+    fps: int
+    #: Wall-clock second (on the shared global clock) the camera's frame 0
+    #: was captured at.
+    start_offset_s: float = 0.0
+    width: int = 640
+    height: int = 480
+    #: Recording duration; None sizes the clip to cover every scripted visit.
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+        if self.start_offset_s < 0:
+            raise ValueError("start_offset_s must be non-negative")
+
+
+#: The default two-camera handoff: mixed frame rates, staggered starts.
+DEFAULT_PLACEMENTS: Tuple[CameraPlacement, ...] = (
+    CameraPlacement("cam_a", fps=10, start_offset_s=0.0),
+    CameraPlacement("cam_b", fps=15, start_offset_s=3.0),
+)
+
+
+@dataclass
+class MultiCameraScenario:
+    """A generated multi-feed scenario plus its identity ground truth."""
+
+    #: Feed name -> video, in camera order (feed the session directly).
+    videos: Dict[str, SyntheticVideo]
+    #: Feed name -> wall-clock start offset (feed the session directly).
+    start_offsets: Dict[str, float]
+    #: Entity object_id -> its (camera, enter_ts, exit_ts) visits on the
+    #: global wall clock, in visit order.  This is the re-id ground truth:
+    #: tracks on different cameras stemming from the same object_id are the
+    #: same physical entity.
+    itineraries: Dict[int, List[Tuple[str, float, float]]] = field(default_factory=dict)
+
+    @property
+    def cameras(self) -> List[str]:
+        return list(self.videos)
+
+    @property
+    def entity_ids(self) -> List[int]:
+        return sorted(self.itineraries)
+
+
+def _entity_attributes(index: int, entity_class: str, seed: int) -> Dict[str, object]:
+    rng = derive_rng(seed, "multicam", "entity", index)
+    if entity_class == "person":
+        return {
+            "clothing": str(rng.choice(["jeans", "shorts", "dress", "suit"])),
+            "hair": str(rng.choice(["black", "brown", "blond", "gray"])),
+        }
+    letters = "".join(rng.choice(list("ABCDEFGHJKLMNPRSTUVWXYZ"), size=3))
+    digits = "".join(str(d) for d in rng.integers(0, 10, size=4))
+    return {
+        "color": DEFAULT_ENTITY_COLORS[index % len(DEFAULT_ENTITY_COLORS)],
+        "vehicle_type": "sedan",
+        "license_plate": f"{letters}{digits}",
+        "direction": "go_straight",
+        "speeding": False,
+    }
+
+
+def handoff_scenario(
+    cameras: Sequence[CameraPlacement] = DEFAULT_PLACEMENTS,
+    num_entities: int = 3,
+    dwell_s: float = 6.0,
+    travel_gap_s: float = 4.0,
+    stagger_s: float = 1.5,
+    entity_class: str = "car",
+    entity_attributes: Optional[Sequence[Mapping[str, object]]] = None,
+    background_vehicles_per_minute: float = 0.0,
+    background_pedestrians_per_minute: float = 0.0,
+    tail_s: float = 2.0,
+    seed: int = 0,
+) -> MultiCameraScenario:
+    """Script ``num_entities`` entities crossing every camera in order.
+
+    Entity ``i`` enters the first camera at global time ``i * stagger_s``,
+    crosses each camera's view left-to-right in ``dwell_s`` seconds, and
+    takes ``travel_gap_s`` seconds of unseen travel between consecutive
+    cameras.  Visits that would begin before a camera started recording are
+    dropped (the camera simply missed that entity).  ``entity_attributes``
+    overrides the generated per-entity attribute dicts positionally.
+    """
+    if num_entities < 1:
+        raise ValueError("need at least one entity")
+    if not cameras:
+        raise ValueError("need at least one camera")
+    if len({cam.name for cam in cameras}) != len(cameras):
+        raise ValueError("camera names must be unique")
+    if dwell_s <= 0:
+        raise ValueError("dwell_s must be positive")
+
+    size = (35.0, 90.0) if entity_class == "person" else (120.0, 60.0)
+    margin = 80.0
+
+    itineraries: Dict[int, List[Tuple[str, float, float]]] = {}
+    per_camera_objects: Dict[str, List[ObjectSpec]] = {cam.name: [] for cam in cameras}
+    last_visit_end: Dict[str, float] = {cam.name: 0.0 for cam in cameras}
+
+    for i in range(num_entities):
+        object_id = ENTITY_ID_BASE + i
+        attributes = dict(
+            entity_attributes[i]
+            if entity_attributes is not None and i < len(entity_attributes)
+            else _entity_attributes(i, entity_class, seed)
+        )
+        visits: List[Tuple[str, float, float]] = []
+        for k, cam in enumerate(cameras):
+            enter_ts = i * stagger_s + k * (dwell_s + travel_gap_s)
+            exit_ts = enter_ts + dwell_s
+            if enter_ts < cam.start_offset_s:
+                continue  # the camera was not yet recording
+            enter_frame = int(round((enter_ts - cam.start_offset_s) * cam.fps))
+            exit_frame = int(round((exit_ts - cam.start_offset_s) * cam.fps))
+            if cam.duration_s is not None:
+                # A fixed-length recording may end before (or during) the
+                # visit; the itinerary must only claim what the footage can
+                # show, or it would depress measured re-id recall unfairly.
+                num_frames = int(round(cam.fps * cam.duration_s))
+                if enter_frame >= num_frames:
+                    continue
+                exit_frame = min(exit_frame, num_frames - 1)
+                exit_ts = cam.start_offset_s + exit_frame / cam.fps
+            dwell_frames = max(exit_frame - enter_frame, 1)
+            speed = (cam.width + 2 * margin) / dwell_frames
+            lane_y = (0.40 + 0.08 * (i % 5)) * cam.height
+            trajectory = _shifted(
+                LinearTrajectory((-margin, lane_y), (speed, 0.0)), enter_frame
+            )
+            per_camera_objects[cam.name].append(
+                ObjectSpec(
+                    object_id=object_id,
+                    class_name=entity_class,
+                    trajectory=trajectory,
+                    size=size,
+                    enter_frame=enter_frame,
+                    exit_frame=exit_frame,
+                    attributes=attributes,
+                    default_action="walking" if entity_class == "person" else None,
+                )
+            )
+            visits.append((cam.name, enter_ts, exit_ts))
+            last_visit_end[cam.name] = max(last_visit_end[cam.name], exit_ts)
+        itineraries[object_id] = visits
+
+    videos: Dict[str, SyntheticVideo] = {}
+    start_offsets: Dict[str, float] = {}
+    for idx, cam in enumerate(cameras):
+        duration = cam.duration_s
+        if duration is None:
+            duration = max(last_visit_end[cam.name] - cam.start_offset_s + tail_s, dwell_s)
+        spec = VideoSpec(cam.name, fps=cam.fps, width=cam.width, height=cam.height, duration_s=duration)
+        extra = list(per_camera_objects[cam.name])
+        if background_vehicles_per_minute > 0 or background_pedestrians_per_minute > 0:
+            generator = SceneGenerator(
+                spec,
+                TrafficSceneConfig(
+                    vehicles_per_minute=background_vehicles_per_minute,
+                    pedestrians_per_minute=background_pedestrians_per_minute,
+                    loiter_fraction=0.0,
+                ),
+                seed=seed * 31 + idx,
+            )
+            for obj in generator.generate_objects():
+                # Camera-disjoint id ranges: background entities exist on one
+                # feed only, so they must never alias a ground-truth identity
+                # on another feed.
+                obj.object_id += BACKGROUND_ID_STRIDE * (idx + 1)
+                extra.append(obj)
+        videos[cam.name] = SyntheticVideo(spec, extra, seed=seed * 7 + idx)
+        start_offsets[cam.name] = cam.start_offset_s
+
+    return MultiCameraScenario(videos=videos, start_offsets=start_offsets, itineraries=itineraries)

@@ -2,11 +2,14 @@
 
 import pytest
 
-from repro.backend.results import MultiCameraResult
-from repro.backend.session import MultiCameraSession, QuerySession
+from repro.backend.results import Event, MultiCameraResult, QueryResult
+from repro.backend.session import MultiCameraSession, QuerySession, _named_feeds
+from repro.common.config import VideoSpec
 from repro.frontend.builtin import Car
+from repro.frontend.higher_order import DurationQuery
 from repro.frontend.query import Query, count_distinct
 from repro.videosim.datasets import camera_clip
+from repro.videosim.video import SyntheticVideo
 
 
 class RedCarQuery(Query):
@@ -93,6 +96,124 @@ class TestMultiCameraSession:
         merged = MultiCameraSession(feeds, zoo=zoo, config=fast_config).execute(RedCarQuery())
         with pytest.raises(KeyError):
             merged.camera("nonexistent")
+
+
+class TestMergedViews:
+    """Direct coverage of MultiCameraResult's merged views (previously only
+    exercised indirectly through determinism checks)."""
+
+    @staticmethod
+    def _feed_result(frames=0, matched=(), events=(), breakdown=None):
+        result = QueryResult(query_name="q")
+        result.num_frames_processed = frames
+        result.matched_frames = list(matched)
+        result.events = list(events)
+        result.cost_breakdown = dict(breakdown or {})
+        return result
+
+    def test_merged_events_orders_by_frame_then_camera(self):
+        early = Event(start_frame=5, end_frame=9)
+        tie_a = Event(start_frame=10, end_frame=12)
+        tie_b = Event(start_frame=10, end_frame=12)
+        late = Event(start_frame=20, end_frame=25)
+        merged = MultiCameraResult(
+            query_name="q",
+            per_camera={
+                "zebra": self._feed_result(events=[tie_b, early]),
+                "alpha": self._feed_result(events=[late, tie_a]),
+            },
+        )
+        # Sorted by (start, end); the (10, 12) tie breaks by camera name.
+        assert merged.merged_events() == [
+            ("zebra", early),
+            ("alpha", tie_a),
+            ("zebra", tie_b),
+            ("alpha", late),
+        ]
+
+    def test_matched_frames_keeps_feed_local_ids_per_camera(self):
+        merged = MultiCameraResult(
+            query_name="q",
+            per_camera={
+                "a": self._feed_result(frames=100, matched=[3, 7]),
+                "b": self._feed_result(frames=50, matched=[7, 9]),
+            },
+        )
+        assert merged.matched_frames() == {"a": [3, 7], "b": [7, 9]}
+        # The view is a copy: mutating it must not corrupt the result.
+        merged.matched_frames()["a"].append(99)
+        assert merged.matched_frames() == {"a": [3, 7], "b": [7, 9]}
+
+    def test_cost_breakdown_sums_accounts_across_feeds(self):
+        merged = MultiCameraResult(
+            query_name="q",
+            per_camera={
+                "a": self._feed_result(breakdown={"yolox": 100.0, "color_detect": 10.0}),
+                "b": self._feed_result(breakdown={"yolox": 50.0, "kalman_tracker": 5.0}),
+            },
+        )
+        breakdown = merged.cost_breakdown()
+        assert breakdown["yolox"] == pytest.approx(150.0)
+        assert breakdown["color_detect"] == pytest.approx(10.0)
+        assert breakdown["kalman_tracker"] == pytest.approx(5.0)
+        # Sorted by descending cost, like every other breakdown view.
+        assert list(breakdown) == sorted(breakdown, key=lambda k: -breakdown[k])
+
+    def test_merged_views_from_a_real_execution(self, feeds, zoo, fast_config):
+        multi = MultiCameraSession(feeds, zoo=zoo, config=fast_config)
+        merged = multi.execute(DurationQuery(RedCarQuery(), duration_s=1.0))
+        tagged = merged.merged_events()
+        # Every event is tagged with a real camera and appears in its feed's
+        # own result; the merge is (start, end, camera)-ordered.
+        keys = [(e.start_frame, e.end_frame, c) for c, e in tagged]
+        assert keys == sorted(keys)
+        for camera, event in tagged:
+            assert event in merged.camera(camera).events
+        assert set(merged.matched_frames()) == set(feeds)
+        for camera, frames in merged.matched_frames().items():
+            assert frames == merged.camera(camera).matched_frames
+        # The merged breakdown sums the per-feed scan accounting.
+        breakdown = merged.cost_breakdown()
+        assert breakdown["yolox"] == pytest.approx(
+            sum(merged.camera(c).cost_breakdown.get("yolox", 0.0) for c in merged.cameras)
+        )
+
+
+class TestFeedNaming:
+    """Regression tests for the alias-shadowing bug in feed naming."""
+
+    @staticmethod
+    def _video(name):
+        return SyntheticVideo(
+            VideoSpec(name, fps=10, width=64, height=48, duration_s=1), [], seed=0
+        )
+
+    def test_alias_never_shadows_a_natural_name(self):
+        """[cam, cam, cam#2]: the second 'cam' must NOT take the alias
+        'cam#2' — that name belongs to the third feed, and stealing it made
+        result.camera('cam#2') address the wrong video."""
+        cam1, cam2, real = self._video("cam"), self._video("cam"), self._video("cam#2")
+        feeds = _named_feeds([cam1, cam2, real])
+        assert list(feeds) == ["cam", "cam#3", "cam#2"]
+        assert feeds["cam#2"] is real
+        assert feeds["cam#3"] is cam2
+
+    def test_session_addresses_the_right_video(self, zoo, fast_config):
+        videos = [
+            camera_clip("banff", duration_s=5, seed=1),
+            camera_clip("banff", duration_s=5, seed=4),
+            camera_clip("banff", duration_s=5, seed=8),
+        ]
+        # Rename the third feed to collide with the would-be alias.
+        videos[2].spec = VideoSpec("banff#2", 15, 1280, 720, 5)
+        multi = MultiCameraSession(videos, zoo=zoo, config=fast_config)
+        assert multi.cameras == ["banff", "banff#3", "banff#2"]
+        assert multi.sessions["banff#2"].video is videos[2]
+        assert multi.sessions["banff#3"].video is videos[1]
+
+    def test_plain_duplicates_still_get_dense_suffixes(self):
+        feeds = _named_feeds([self._video("cam"), self._video("cam"), self._video("cam")])
+        assert list(feeds) == ["cam", "cam#2", "cam#3"]
 
 
 class TestMergedAggregates:

@@ -536,3 +536,78 @@ class TestParallelMultiCamera:
         assert parallel[0].cameras == serial[0].cameras == ["tiny", "jackson", "banff", "aux"]
         for name in parallel[0].cameras:
             assert parallel[0].camera(name) == serial[0].camera(name)
+
+
+class TestCrossCameraWithScheduler:
+    """Cross-camera re-id composed with frame-filter gating and early exit."""
+
+    @pytest.fixture(scope="class")
+    def handoff(self):
+        from repro.videosim.multicam import CameraPlacement, handoff_scenario
+
+        # Entity 0 is red (the gated query's target); entity 1 is blue, so
+        # most frames on both feeds carry no red car and the gate bites.
+        return handoff_scenario(
+            cameras=(
+                CameraPlacement("cam_a", fps=10),
+                CameraPlacement("cam_b", fps=15, start_offset_s=2.0),
+            ),
+            num_entities=2,
+            dwell_s=6.0,
+            travel_gap_s=6.0,
+            seed=11,
+        )
+
+    def _session(self, handoff, zoo, **kw):
+        config = PlannerConfig(profile_plans=False, enable_cross_camera_reid=True, **kw)
+        return MultiCameraSession(
+            handoff.videos, zoo=zoo, config=config, start_offsets=handoff.start_offsets
+        )
+
+    def test_gating_composes_with_reid(self, handoff, zoo):
+        """Gate-skipped frames reduce detector work per feed, yet the red
+        entity still links across cameras and events stay wall-clock
+        ordered."""
+        multi = self._session(handoff, zoo)
+        merged = multi.execute(GatedRedCarQuery())
+        gated_somewhere = False
+        for name, session in multi.sessions.items():
+            gated_somewhere = gated_somewhere or session.last_scan_stats["leaf_frames_gated"] > 0
+        assert gated_somewhere, "the no-red lead-ins must be gate-rejected"
+        assert merged.links is not None
+        assert multi.last_links.cross_camera_identities(), "the red car must link across feeds"
+        intervals = [
+            merged.timeline.event_interval(camera, event)
+            for camera, event in merged.merged_events()
+        ]
+        assert intervals == sorted(intervals)
+
+    def test_bounded_query_composes_with_reid(self, handoff, zoo):
+        """Feeds that retire early still contribute their partial tracks —
+        long enough to pass the quality gate — to the cross-camera link."""
+        multi = self._session(handoff, zoo)
+        merged = multi.execute(GatedRedCarQuery().bounded(40))
+        exited = [
+            name
+            for name, session in multi.sessions.items()
+            if session.last_scan_stats["early_exit_frame"] is not None
+        ]
+        assert exited, "a bounded query must stop some feed's scan early"
+        assert merged.links is not None
+        for name in exited:
+            assert multi.last_links.profiles[name], (
+                "an early-exited feed must still profile the tracks it saw"
+            )
+        assert multi.last_links.cross_camera_identities(), (
+            "the red entity's partial tracks must still link across feeds"
+        )
+
+    def test_exists_tracks_fall_below_the_quality_gate(self, handoff, zoo):
+        """An exists() scan stops after one matching frame, so its one-frame
+        track slivers are (by design) excluded from linking by the re-id
+        quality gate — linking still runs and reports no identities."""
+        multi = self._session(handoff, zoo)
+        merged = multi.execute(GatedRedCarQuery().exists())
+        assert merged.links is not None
+        assert all(not profiles for profiles in multi.last_links.profiles.values())
+        assert multi.last_links.num_identities == 0

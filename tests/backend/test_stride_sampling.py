@@ -334,6 +334,80 @@ class FilteredRedCarQuery(Query):
         return (self.car.track_id,)
 
 
+class TestCrossCameraWithSampling:
+    """Cross-camera re-id composed with stride sampling and early exit."""
+
+    @pytest.fixture(scope="class")
+    def handoff(self):
+        from repro.videosim.multicam import CameraPlacement, handoff_scenario
+
+        return handoff_scenario(
+            cameras=(
+                CameraPlacement("cam_a", fps=10),
+                CameraPlacement("cam_b", fps=15, start_offset_s=2.0),
+            ),
+            num_entities=2,
+            dwell_s=8.0,
+            seed=9,
+        )
+
+    def _session(self, handoff, zoo, **kw):
+        from repro.backend.session import MultiCameraSession
+
+        config = PlannerConfig(
+            profile_plans=False, enable_cross_camera_reid=True, **kw
+        )
+        return MultiCameraSession(
+            handoff.videos, zoo=zoo, config=config, start_offsets=handoff.start_offsets
+        )
+
+    def test_interpolated_frames_never_source_embeddings(self, handoff, zoo):
+        """Re-id must only ever embed detector-observed crops: a track's
+        source detection cannot come from an interpolation-seeded frame."""
+        multi = self._session(handoff, zoo, enable_stride_sampling=True)
+        multi.execute(RedCarQuery())
+        sampled_somewhere = False
+        for name, session in multi.sessions.items():
+            stats = session.last_scan_stats
+            ctx = session.last_context
+            sampled_somewhere = sampled_somewhere or stats["frames_interpolated"] > 0
+            assert len(ctx.seeded_frames) == stats["frames_interpolated"]
+            for profile in multi.last_links.profiles[name]:
+                assert profile.source.frame_id not in ctx.seeded_frames
+        assert sampled_somewhere, "the stable handoff scene must stride-sample"
+
+    def test_link_quality_unchanged_by_sampling(self, handoff, zoo):
+        """Track ids may renumber under sampling, but the identity structure
+        against ground truth must not degrade."""
+        from repro.backend.crosscamera import reid_identity_scores
+
+        sampled = self._session(handoff, zoo, enable_stride_sampling=True)
+        sampled.execute(RedCarQuery())
+        plain = self._session(handoff, zoo, enable_stride_sampling=False)
+        plain.execute(RedCarQuery())
+        assert reid_identity_scores(sampled.last_links).f1 == pytest.approx(
+            reid_identity_scores(plain.last_links).f1
+        )
+        assert (
+            sampled.last_links.num_identities == plain.last_links.num_identities
+        )
+
+    def test_bounded_cross_camera_query_retires(self, handoff, zoo):
+        """An exists() bound composed with sampling + re-id: every feed's
+        scan stops at its determining frame, and linking still runs over
+        the partial tracks."""
+        multi = self._session(handoff, zoo, enable_stride_sampling=True)
+        merged = multi.execute(RedCarQuery().exists())
+        assert merged.links is not None
+        for name, session in multi.sessions.items():
+            stats = session.last_scan_stats
+            result = merged.camera(name)
+            if result.matched_frames:
+                assert len(result.matched_frames) == 1
+                assert stats["early_exit_frame"] is not None
+                assert stats["early_exit_frame"] < session.video.num_frames - 1
+
+
 class TestGateAwareCostModel:
     @pytest.fixture(scope="class")
     def busy_red_video(self):

@@ -162,3 +162,45 @@ class TestDatasetPresets:
         assert any(e.kind == "collide" for e in hit_and_run_clip(duration_s=30).events)
         assert loitering_clip(duration_s=30).num_frames > 0
         assert queue_clip(duration_s=30).num_frames > 0
+
+
+class TestHandoffScenario:
+    def test_fixed_duration_clamps_itineraries_to_the_footage(self):
+        from repro.videosim.multicam import CameraPlacement, handoff_scenario
+
+        scenario = handoff_scenario(
+            cameras=(
+                CameraPlacement("short", fps=10, duration_s=5.0),
+                CameraPlacement("long", fps=10),
+            ),
+            num_entities=2,
+            dwell_s=6.0,
+            travel_gap_s=4.0,
+        )
+        short = scenario.videos["short"]
+        for visits in scenario.itineraries.values():
+            for camera, enter_ts, exit_ts in visits:
+                if camera != "short":
+                    continue
+                # The ground truth only claims sightings the clip contains.
+                assert enter_ts < short.spec.duration_s
+                assert exit_ts <= short.spec.duration_s
+        for obj in short.objects:
+            assert obj.enter_frame < short.num_frames
+            assert obj.exit_frame < short.num_frames
+
+    def test_entities_share_ids_across_feeds_but_distractors_do_not(self):
+        from repro.videosim.multicam import CameraPlacement, handoff_scenario
+
+        scenario = handoff_scenario(
+            cameras=(
+                CameraPlacement("a", fps=10),
+                CameraPlacement("b", fps=15, start_offset_s=2.0),
+            ),
+            num_entities=2,
+            background_vehicles_per_minute=6.0,
+            seed=4,
+        )
+        ids = {name: {o.object_id for o in video.objects} for name, video in scenario.videos.items()}
+        shared = ids["a"] & ids["b"]
+        assert shared == set(scenario.entity_ids)
