@@ -75,6 +75,15 @@ class QueryAnalysis:
         for info in self.variables:
             if info.variable is variable:
                 return info
+        # An equal-but-distinct VObj (e.g. rebuilt from a shipped plan or a
+        # re-declared query) still names the same logical variable; fall back
+        # to equality, then to the variable name.
+        for info in self.variables:
+            if info.variable == variable:
+                return info
+        for info in self.variables:
+            if info.var_name == variable.var_name:
+                return info
         raise PlanError(f"unknown variable {variable.var_name!r}")
 
     @property

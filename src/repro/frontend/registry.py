@@ -11,27 +11,33 @@ planner consults together with the built-in model zoo.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Optional
 
 from repro.models.base import SimulatedModel
 from repro.models.zoo import ModelZoo, default_zoo
 
 _library_zoo: Optional[ModelZoo] = None
+# Guards _library_zoo: multi-camera sessions scan cameras on a thread pool,
+# and any worker may trigger the lazy zoo construction concurrently.
+_library_zoo_lock = threading.Lock()
 
 
 def get_library_zoo() -> ModelZoo:
     """The process-wide model zoo (built-ins plus user registrations)."""
     global _library_zoo
-    if _library_zoo is None:
-        _library_zoo = default_zoo()
-    return _library_zoo
+    with _library_zoo_lock:
+        if _library_zoo is None:
+            _library_zoo = default_zoo()
+        return _library_zoo
 
 
 def reset_library_zoo(seed: int = 0) -> ModelZoo:
     """Replace the library zoo with a fresh default one (used by tests)."""
     global _library_zoo
-    _library_zoo = default_zoo(seed=seed)
-    return _library_zoo
+    with _library_zoo_lock:
+        _library_zoo = default_zoo(seed=seed)
+        return _library_zoo
 
 
 def register_model(

@@ -1,0 +1,278 @@
+"""Shared AST utilities: class/function indexing and name resolution.
+
+The rules need three capabilities that plain ``ast`` does not provide:
+
+* a package-wide *class index* with transitive subclass resolution across
+  modules (stream-protocol, picklability);
+* per-module *function indexes* so purity analysis can follow local helper
+  calls interprocedurally (gate-purity);
+* lightweight dotted-name resolution through each module's import table
+  (RNG-policy and bad-type detection).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.core import AnalysisTarget, ModuleInfo
+
+
+@dataclass
+class ClassInfo:
+    """One class definition in the analyzed package."""
+
+    name: str
+    qualname: str  # dotted module + class name
+    node: ast.ClassDef
+    module: ModuleInfo
+    #: Base names resolved through the module's import table (dotted where
+    #: resolution succeeded, bare otherwise).
+    base_names: List[str] = field(default_factory=list)
+
+    def methods(self) -> Dict[str, ast.FunctionDef]:
+        out: Dict[str, ast.FunctionDef] = {}
+        for item in self.node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out[item.name] = item
+        return out
+
+    def is_dataclass(self) -> bool:
+        for deco in self.node.decorator_list:
+            name = _decorator_name(deco)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    def has_abstract_methods(self) -> bool:
+        for method in self.methods().values():
+            for deco in method.decorator_list:
+                if _decorator_name(deco) in ("abstractmethod", "abc.abstractmethod"):
+                    return True
+        return False
+
+    def self_attribute_names(self) -> Set[str]:
+        """Every attribute name assigned as ``self.<name> = ...`` anywhere."""
+        names: Set[str] = set()
+        for node in ast.walk(self.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                ):
+                    names.add(tgt.attr)
+        return names
+
+
+def _decorator_name(deco: ast.expr) -> str:
+    if isinstance(deco, ast.Call):
+        deco = deco.func
+    parts: List[str] = []
+    while isinstance(deco, ast.Attribute):
+        parts.append(deco.attr)
+        deco = deco.value
+    if isinstance(deco, ast.Name):
+        parts.append(deco.id)
+    return ".".join(reversed(parts))
+
+
+class ClassIndex:
+    """All classes of an :class:`AnalysisTarget`, with subclass queries."""
+
+    def __init__(self, target: AnalysisTarget) -> None:
+        self.target = target
+        self.by_qualname: Dict[str, ClassInfo] = {}
+        #: bare class name -> infos (several modules may reuse a name).
+        self.by_name: Dict[str, List[ClassInfo]] = {}
+        for module in target.modules:
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = []
+                for base in node.bases:
+                    resolved = module.resolve_attr_chain(base)
+                    if resolved is None and isinstance(base, ast.Name):
+                        resolved = module.resolve_name(base.id)
+                    if resolved is not None:
+                        bases.append(resolved)
+                info = ClassInfo(
+                    name=node.name,
+                    qualname=f"{module.dotted}.{node.name}",
+                    node=node,
+                    module=module,
+                    base_names=bases,
+                )
+                self.by_qualname[info.qualname] = info
+                self.by_name.setdefault(node.name, []).append(info)
+
+    def subclasses_of(self, base_bare_name: str) -> List[ClassInfo]:
+        """Classes transitively subclassing any class named ``base_bare_name``.
+
+        Matching is by the *last component* of the (resolved) base name, so
+        both in-target definitions and imports of the anchor class count.
+        The anchor class itself is not included.
+        """
+        out: List[ClassInfo] = []
+        for info in self.by_qualname.values():
+            if info.name == base_bare_name:
+                continue
+            if self._derives_from(info, base_bare_name, seen=set()):
+                out.append(info)
+        return out
+
+    def _derives_from(self, info: ClassInfo, base_bare_name: str, seen: Set[str]) -> bool:
+        if info.qualname in seen:
+            return False
+        seen.add(info.qualname)
+        for base in info.base_names:
+            last = base.split(".")[-1]
+            if last == base_bare_name:
+                return True
+            for candidate in self.by_name.get(last, []):
+                if self._derives_from(candidate, base_bare_name, seen):
+                    return True
+        return False
+
+    def ancestors_in_target(self, info: ClassInfo) -> List[ClassInfo]:
+        """In-target ancestor classes of ``info`` (nearest first)."""
+        out: List[ClassInfo] = []
+        queue = list(info.base_names)
+        seen: Set[str] = set()
+        while queue:
+            base = queue.pop(0)
+            last = base.split(".")[-1]
+            for candidate in self.by_name.get(last, []):
+                if candidate.qualname in seen or candidate is info:
+                    continue
+                seen.add(candidate.qualname)
+                out.append(candidate)
+                queue.extend(candidate.base_names)
+        return out
+
+    def lookup_method(
+        self, info: ClassInfo, method_name: str
+    ) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        """Resolve a method on the class or its in-target ancestors (MRO-ish)."""
+        for owner in [info] + self.ancestors_in_target(info):
+            method = owner.methods().get(method_name)
+            if method is not None:
+                return owner, method
+        return None
+
+
+def module_functions(module: ModuleInfo) -> Dict[str, ast.FunctionDef]:
+    """Top-level functions of a module, by name."""
+    return {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def module_level_assignments(module: ModuleInfo) -> Dict[str, ast.AST]:
+    """Module-scope name -> the value expression last assigned to it."""
+    out: Dict[str, ast.AST] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    out[tgt.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                out[node.target.id] = node.value
+    return out
+
+
+#: Call / constructor names that produce mutable containers.
+MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "collections.deque",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+}
+
+#: Names (or dotted suffixes) of mutating container methods.
+MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "appendleft",
+    "extendleft",
+    "sort",
+    "reverse",
+}
+
+
+def is_mutable_container_expr(node: ast.AST, module: ModuleInfo) -> bool:
+    """True when ``node`` evaluates to a freshly built mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = module.resolve_attr_chain(node.func)
+        if name is None and isinstance(node.func, ast.Name):
+            name = module.resolve_name(node.func.id)
+        if name is None:
+            return False
+        return name in MUTABLE_CONSTRUCTORS or name.split(".")[-1] in {
+            n.split(".")[-1] for n in MUTABLE_CONSTRUCTORS
+        }
+    return False
+
+
+def walk_function_body(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function's statements without descending into nested defs."""
+
+    def _walk(nodes: List[ast.stmt]) -> Iterator[ast.AST]:
+        for stmt in nodes:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield from ast.walk(stmt)
+
+    yield from _walk(func.body)
+
+
+def annotation_names(node: Optional[ast.AST], module: ModuleInfo) -> List[str]:
+    """Every dotted/bare type name mentioned in an annotation expression.
+
+    Handles subscripted generics (``Optional[threading.Lock]``), string
+    annotations, and unions; resolution goes through the import table.
+    """
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: List[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            resolved = module.resolve_attr_chain(sub)
+            if resolved is not None:
+                names.append(resolved)
+        elif isinstance(sub, ast.Name):
+            names.append(module.resolve_name(sub.id))
+    return names

@@ -1,0 +1,94 @@
+"""Baseline suppression: accepted findings, each with a justification.
+
+The baseline is a JSON file of entries ``{"key": ..., "reason": ...}``.
+Keys are the line-stable :attr:`Finding.key` fingerprints, so the baseline
+survives unrelated edits; an entry is expected to suppress **exactly one**
+finding — entries matching nothing are reported as stale (they either
+outlived the violation, which should be celebrated by deleting them, or
+their key drifted, which must be fixed before it silently stops
+suppressing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.core import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    key: str
+    reason: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"key": self.key, "reason": self.reason}
+
+
+class Baseline:
+    """A set of accepted findings loaded from (and written to) disk."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        for entry in self.entries:
+            if not entry.reason.strip():
+                raise ValueError(f"baseline entry {entry.key!r} needs a justification")
+        keys = [e.key for e in self.entries]
+        dupes = {k for k in keys if keys.count(k) > 1}
+        if dupes:
+            raise ValueError(f"duplicate baseline keys: {sorted(dupes)}")
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        raw = data["entries"] if isinstance(data, dict) else data
+        return cls([BaselineEntry(key=e["key"], reason=e.get("reason", "")) for e in raw])
+
+    @classmethod
+    def load_or_empty(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not Path(path).is_file():
+            return cls()
+        return cls.load(Path(path))
+
+    def save(self, path: Path) -> None:
+        payload = {"entries": [e.as_dict() for e in sorted(self.entries, key=lambda e: e.key)]}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (active, suppressed) plus stale entries.
+
+        ``info`` findings are advisory and never counted as active failures,
+        but they can still be suppressed to keep reports quiet.
+        """
+        by_key = {entry.key: entry for entry in self.entries}
+        used: set = set()
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            entry = by_key.get(finding.key)
+            if entry is not None:
+                suppressed.append(finding)
+                used.add(entry.key)
+            elif finding.severity in ("error", "warning"):
+                active.append(finding)
+            else:
+                active.append(finding)  # info stays visible but is non-fatal
+        stale = [entry for entry in self.entries if entry.key not in used]
+        return active, suppressed, stale
+
+    @staticmethod
+    def from_findings(findings: Sequence[Finding], reason: str) -> "Baseline":
+        """Build a baseline accepting every given finding with one reason.
+
+        Meant for ``--write-baseline`` bootstrapping; the justifications
+        should then be edited per entry before committing.
+        """
+        seen: Dict[str, BaselineEntry] = {}
+        for finding in findings:
+            seen.setdefault(finding.key, BaselineEntry(key=finding.key, reason=reason))
+        return Baseline(list(seen.values()))

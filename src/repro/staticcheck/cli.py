@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro.staticcheck``.
+
+Exit status is 0 when every error/warning finding is baselined and no
+baseline entry is stale; 1 otherwise.  ``info`` findings are advisory and
+never affect the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.core import CheckConfig, Finding, all_rules, run_checks
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package directory (analysis default)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _repo_root(target: Path) -> Optional[Path]:
+    """Nearest ancestor containing a ``.git`` directory, if any."""
+    for candidate in [target] + list(target.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Engine-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="package directory to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline JSON path (default: <repo root>/staticcheck-baseline.json "
+        "when analyzing the installed package; none otherwise)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report all findings as active",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        type=Path,
+        default=None,
+        help="accept every current finding into a new baseline at PATH "
+        "(edit the per-entry reasons before committing) and exit 0",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        type=Path,
+        default=None,
+        help="test-suite directory for the knob-coverage check "
+        "(default: <repo root>/tests when analyzing the installed package)",
+    )
+    parser.add_argument(
+        "--docs",
+        action="append",
+        dest="docs",
+        type=Path,
+        metavar="PATH",
+        help="documentation file or directory for the knob-docs check "
+        "(repeatable; default: <repo root>/docs and README.md)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_environment(args: argparse.Namespace) -> None:
+    """Fill target/baseline/tests/docs defaults from the repo layout."""
+    defaulted_target = args.target is None
+    if defaulted_target:
+        args.target = _default_target()
+    args.target = args.target.resolve()
+    root = _repo_root(args.target) if defaulted_target else None
+    if args.baseline is None and not args.no_baseline and root is not None:
+        args.baseline = root / "staticcheck-baseline.json"
+    if args.tests_dir is None and root is not None:
+        args.tests_dir = root / "tests"
+    if args.docs is None:
+        args.docs = []
+        if root is not None:
+            args.docs = [root / "docs", root / "README.md"]
+
+
+def _render_text(
+    active: List[Finding],
+    suppressed: List[Finding],
+    stale: List,
+    out,
+) -> None:
+    for finding in active:
+        print(finding.format_text(), file=out)
+    fatal = [f for f in active if f.severity in ("error", "warning")]
+    info = [f for f in active if f.severity == "info"]
+    print(
+        f"\n{len(fatal)} finding(s), {len(info)} advisory, "
+        f"{len(suppressed)} baselined, {len(stale)} stale baseline entr"
+        f"{'y' if len(stale) == 1 else 'ies'}",
+        file=out,
+    )
+    for entry in stale:
+        print(f"  stale: {entry.key} ({entry.reason})", file=out)
+
+
+def _render_json(
+    active: List[Finding],
+    suppressed: List[Finding],
+    stale: List,
+    rules: Sequence[str],
+    target: Path,
+    out,
+) -> None:
+    fatal = [f for f in active if f.severity in ("error", "warning")]
+    payload = {
+        "target": str(target),
+        "rules": list(rules),
+        "findings": [f.as_dict() for f in active],
+        "suppressed": [f.as_dict() for f in suppressed],
+        "stale_baseline": [e.as_dict() for e in stale],
+        "summary": {
+            "active": len(fatal),
+            "advisory": len(active) - len(fatal),
+            "suppressed": len(suppressed),
+            "stale": len(stale),
+        },
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name} ({rule.id_prefix}xx): {rule.description}", file=out)
+        return 0
+
+    _resolve_environment(args)
+    rule_names = args.rules if args.rules else sorted(all_rules())
+    config = CheckConfig(tests_dir=args.tests_dir, docs_paths=list(args.docs))
+    findings = run_checks(args.target, rule_names=rule_names, config=config)
+
+    if args.write_baseline is not None:
+        fatal = [f for f in findings if f.severity in ("error", "warning")]
+        baseline = Baseline.from_findings(fatal, reason="accepted by --write-baseline; TODO justify")
+        baseline.save(args.write_baseline)
+        print(
+            f"wrote {len(baseline.entries)} entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} to {args.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    baseline = (
+        Baseline()
+        if args.no_baseline
+        else Baseline.load_or_empty(args.baseline)
+    )
+    active, suppressed, stale = baseline.split(findings)
+
+    if args.format == "json":
+        _render_json(active, suppressed, stale, rule_names, args.target, out)
+    else:
+        _render_text(active, suppressed, stale, out)
+
+    fatal = [f for f in active if f.severity in ("error", "warning")]
+    return 1 if fatal or stale else 0

@@ -1,0 +1,257 @@
+"""Core of the static analysis framework: findings, targets, rule registry.
+
+A :class:`Rule` inspects an :class:`AnalysisTarget` — the parsed ASTs of
+every module under one package root — and returns :class:`Finding`\\ s.
+Findings carry a *fingerprint* that is stable across line drift, so the
+baseline file (:mod:`repro.staticcheck.baseline`) can suppress an accepted
+finding without pinning line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Finding severities, most severe first.  ``info`` findings never fail a
+#: run; they are advisory (e.g. the transitive picklability report).
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    #: Actionable remediation, shown alongside the message.
+    fix_hint: str = ""
+    #: Line-stable identity component; defaults to ``symbol`` when empty.
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {self.severity!r}")
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by baseline suppression (no line numbers)."""
+        return f"{self.rule_id}::{self.path}::{self.fingerprint or self.symbol}"
+
+    def format_text(self) -> str:
+        hint = f"\n      hint: {self.fix_hint}" if self.fix_hint else ""
+        return (
+            f"{self.path}:{self.line}: [{self.rule_id}/{self.severity}] "
+            f"{self.symbol}: {self.message}{hint}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "key": self.key,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module of the analysis target."""
+
+    path: Path
+    #: Path relative to the target root, with ``/`` separators (finding paths).
+    relpath: str
+    #: Dotted module name relative to the package root (``repro.backend.plan``).
+    dotted: str
+    source: str
+    tree: ast.Module
+
+    #: name in this module -> fully dotted name it refers to.  Covers
+    #: ``import x.y as z`` (z -> x.y) and ``from x.y import A as B``
+    #: (B -> x.y.A).  Filled lazily by :meth:`imports`.
+    _imports: Optional[Dict[str, str]] = None
+
+    def imports(self) -> Dict[str, str]:
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                        if alias.asname:
+                            table[alias.asname] = alias.name
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def resolve_name(self, name: str) -> str:
+        """The fully dotted name ``name`` refers to here (itself if unknown)."""
+        return self.imports().get(name, name)
+
+    def resolve_attr_chain(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``a.b.c`` to a dotted name with the root import expanded.
+
+        Returns None when the expression root is not a plain name (e.g. a
+        call result), in which case static resolution is impossible.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.resolve_name(node.id))
+        return ".".join(reversed(parts))
+
+
+class AnalysisTarget:
+    """All parsed modules under one package root directory.
+
+    ``root`` is the directory of the package being analyzed (e.g.
+    ``src/repro`` or a fixture package in the test suite).  Dotted module
+    names are derived from the root's basename, so analyzing ``src/repro``
+    yields ``repro.backend.plan`` etc.
+    """
+
+    def __init__(self, root: Path, exclude: Sequence[str] = ("staticcheck",)) -> None:
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise FileNotFoundError(f"analysis target is not a directory: {self.root}")
+        self.package_name = self.root.name
+        self.exclude = tuple(exclude)
+        self.modules: List[ModuleInfo] = []
+        self._load()
+
+    def _load(self) -> None:
+        for path in sorted(self.root.rglob("*.py")):
+            rel = path.relative_to(self.root)
+            if rel.parts and rel.parts[0] in self.exclude:
+                continue
+            if "__pycache__" in rel.parts:
+                continue
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:  # pragma: no cover - target must parse
+                raise SyntaxError(f"cannot analyze {path}: {exc}") from exc
+            dotted_parts = [self.package_name] + list(rel.parts[:-1])
+            stem = rel.parts[-1][:-3]
+            if stem != "__init__":
+                dotted_parts.append(stem)
+            self.modules.append(
+                ModuleInfo(
+                    path=path,
+                    relpath=str(rel).replace("\\", "/"),
+                    dotted=".".join(dotted_parts),
+                    source=source,
+                    tree=tree,
+                )
+            )
+
+    def module_named(self, dotted_suffix: str) -> Optional[ModuleInfo]:
+        """The module whose dotted name ends with ``dotted_suffix``."""
+        for module in self.modules:
+            if module.dotted == dotted_suffix or module.dotted.endswith("." + dotted_suffix):
+                return module
+        return None
+
+
+@dataclass
+class CheckConfig:
+    """Environment the rules run against, beyond the parsed target."""
+
+    #: Directory of the test suite exercising the target (knob-hygiene's
+    #: "every knob has a test" check); None skips that sub-check.
+    tests_dir: Optional[Path] = None
+    #: Markdown documentation roots (files or directories); empty skips the
+    #: knob-hygiene documentation sub-check.
+    docs_paths: List[Path] = field(default_factory=list)
+
+    def doc_texts(self) -> List[str]:
+        texts: List[str] = []
+        for entry in self.docs_paths:
+            if entry.is_dir():
+                for p in sorted(entry.rglob("*.md")):
+                    texts.append(p.read_text(encoding="utf-8"))
+            elif entry.is_file():
+                texts.append(entry.read_text(encoding="utf-8"))
+        return texts
+
+    def test_texts(self) -> List[str]:
+        if self.tests_dir is None or not self.tests_dir.is_dir():
+            return []
+        return [
+            p.read_text(encoding="utf-8")
+            for p in sorted(self.tests_dir.rglob("*.py"))
+            if "__pycache__" not in p.parts
+        ]
+
+
+class Rule:
+    """Base class for a registered analysis rule (one rule family each)."""
+
+    #: Stable identifier, e.g. ``"stream-protocol"``.
+    name: str = ""
+    #: Finding-id prefix, e.g. ``"SC1"``.
+    id_prefix: str = ""
+    description: str = ""
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator adding a rule (by its ``name``) to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls!r} must define a name")
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    return dict(_RULES)
+
+
+def get_rule(name: str) -> Rule:
+    if name not in _RULES:
+        raise KeyError(f"unknown rule {name!r}; available: {sorted(_RULES)}")
+    return _RULES[name]
+
+
+def run_checks(
+    target_root: Path,
+    rule_names: Optional[Iterable[str]] = None,
+    config: Optional[CheckConfig] = None,
+) -> List[Finding]:
+    """Run the selected rules (default: all) over ``target_root``.
+
+    Findings are ordered by path, line, then rule id — deterministic across
+    runs, so text output and baselines diff cleanly.
+    """
+    target = AnalysisTarget(Path(target_root))
+    cfg = config or CheckConfig()
+    names = list(rule_names) if rule_names is not None else sorted(_RULES)
+    findings: List[Finding] = []
+    for name in names:
+        findings.extend(get_rule(name).check(target, cfg))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.symbol, f.message))
+    return findings

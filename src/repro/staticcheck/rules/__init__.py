@@ -1,0 +1,9 @@
+"""Built-in rule families; importing this package registers them all."""
+
+from __future__ import annotations
+
+import repro.staticcheck.rules.stream_protocol  # noqa: F401
+import repro.staticcheck.rules.gate_purity  # noqa: F401
+import repro.staticcheck.rules.picklability  # noqa: F401
+import repro.staticcheck.rules.thread_safety  # noqa: F401
+import repro.staticcheck.rules.knob_hygiene  # noqa: F401

@@ -1,0 +1,345 @@
+"""SC2xx — gate-purity of hoistable frame filters.
+
+The scan scheduler hoists each plan's frame filters into a batch-level gate
+that evaluates every distinct filter model **once per frame for the whole
+batch** (:class:`repro.backend.scheduler.FrameGate`).  That sharing is only
+sound when a filter's verdict depends on nothing but the frame: a filter
+that mutates its own state, touches module globals, or draws from an
+unseeded RNG can give different answers depending on *which* batch member
+triggered the evaluation — silently breaking per-query semantics.
+
+The rule finds every callable registered as a frame filter or binary
+classifier (zoo ``register(..., kind="frame_filter"/"binary_classifier")``
+calls, plus any class in a ``framefilters`` module defining ``keep``), and
+walks its evaluation path (``keep``/``predict``) *interprocedurally* over
+helper calls it can resolve statically (methods on the same class and
+module-level functions).
+
+Findings
+--------
+* ``SC201`` self-attribute write on the evaluation path
+* ``SC202`` global/nonlocal mutation on the evaluation path
+* ``SC203`` RNG use outside :mod:`repro.common.rng` on the evaluation path
+* ``SC204`` raw RNG construction anywhere outside ``repro.common.rng``
+  (package-wide seeding-policy check)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.astutils import (
+    ClassIndex,
+    ClassInfo,
+    MUTATING_METHODS,
+    module_functions,
+    module_level_assignments,
+    walk_function_body,
+)
+from repro.staticcheck.core import AnalysisTarget, CheckConfig, Finding, ModuleInfo, Rule, register_rule
+
+#: Zoo metadata kinds whose models the gate may evaluate per frame.
+HOISTABLE_KINDS = ("frame_filter", "binary_classifier")
+
+#: Evaluation entry points dispatched by ``evaluate_frame_filter``.
+ENTRY_POINTS = ("keep", "predict")
+
+#: Sanctioned randomness helpers (deterministic, centrally seeded).
+SANCTIONED_RNG_MODULE = "repro.common.rng"
+
+#: Dotted prefixes whose calls constitute raw RNG use.
+RAW_RNG_PREFIXES = ("numpy.random", "np.random", "random")
+
+#: Call names that *construct* generators / reseed global state (SC204).
+RAW_RNG_CONSTRUCTORS = (
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.seed",
+    "random.Random",
+    "random.seed",
+)
+
+#: How deep helper-call chains are followed before giving up.
+MAX_CALL_DEPTH = 6
+
+
+def _call_name(node: ast.Call, module: ModuleInfo) -> Optional[str]:
+    name = module.resolve_attr_chain(node.func)
+    if name is None and isinstance(node.func, ast.Name):
+        name = module.resolve_name(node.func.id)
+    return name
+
+
+def _is_raw_rng_call(name: str) -> bool:
+    # Normalise the common numpy alias before prefix-matching.
+    if name.startswith("np.random"):
+        name = "numpy.random" + name[len("np.random"):]
+    if name.startswith(SANCTIONED_RNG_MODULE):
+        return False
+    return any(name == p or name.startswith(p + ".") for p in RAW_RNG_PREFIXES)
+
+
+def _is_rng_constructor(name: str) -> bool:
+    if name.startswith("np.random"):
+        name = "numpy.random" + name[len("np.random"):]
+    return name in RAW_RNG_CONSTRUCTORS
+
+
+@register_rule
+class GatePurityRule(Rule):
+    name = "gate-purity"
+    id_prefix = "SC2"
+    description = (
+        "hoistable frame filters are stateless and deterministic on their "
+        "evaluation path; raw RNG construction stays behind repro.common.rng"
+    )
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        index = ClassIndex(target)
+        findings: List[Finding] = []
+        for info in self._hoistable_classes(target, index):
+            for entry in ENTRY_POINTS:
+                resolved = index.lookup_method(info, entry)
+                if resolved is None:
+                    continue
+                owner, func = resolved
+                findings.extend(
+                    self._check_eval_path(index, info, owner, func, chain=(entry,), depth=0, seen=set())
+                )
+        findings.extend(self._check_rng_policy(target))
+        # One finding per (class, category, detail): interprocedural walks
+        # can reach the same sin through several helpers.
+        unique: Dict[str, Finding] = {}
+        for finding in findings:
+            unique.setdefault(finding.key, finding)
+        return list(unique.values())
+
+    # -- filter discovery -------------------------------------------------------
+    def _hoistable_classes(self, target: AnalysisTarget, index: ClassIndex) -> List[ClassInfo]:
+        names: Set[str] = set()
+        # (a) classes constructed by factories registered with a hoistable kind
+        for module in target.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr != "register":
+                    continue
+                kind = next(
+                    (
+                        kw.value.value
+                        for kw in node.keywords
+                        if kw.arg == "kind"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ),
+                    None,
+                )
+                if kind not in HOISTABLE_KINDS:
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+                        if sub.func.id in index.by_name:
+                            names.add(sub.func.id)
+        # (b) anything in a framefilters module that defines keep()
+        for module in target.modules:
+            if not module.dotted.endswith("framefilters"):
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and any(
+                    isinstance(item, ast.FunctionDef) and item.name == "keep" for item in node.body
+                ):
+                    names.add(node.name)
+        out: List[ClassInfo] = []
+        for name in sorted(names):
+            out.extend(index.by_name.get(name, []))
+        return out
+
+    # -- evaluation-path purity -------------------------------------------------
+    def _check_eval_path(
+        self,
+        index: ClassIndex,
+        filter_info: ClassInfo,
+        owner: ClassInfo,
+        func: ast.FunctionDef,
+        chain: Tuple[str, ...],
+        depth: int,
+        seen: Set[str],
+    ) -> List[Finding]:
+        marker = f"{owner.qualname}.{func.name}"
+        if marker in seen or depth > MAX_CALL_DEPTH:
+            return []
+        seen.add(marker)
+        module = owner.module
+        module_names = set(module_level_assignments(module))
+        findings: List[Finding] = []
+        via = "" if len(chain) == 1 else f" (via {' -> '.join(chain)})"
+
+        def emit(rule_id: str, severity: str, line: int, message: str, hint: str, detail: str) -> None:
+            findings.append(
+                Finding(
+                    rule_id=rule_id,
+                    severity=severity,
+                    path=filter_info.module.relpath,
+                    line=line,
+                    symbol=filter_info.qualname,
+                    message=message + via,
+                    fix_hint=hint,
+                    fingerprint=f"{filter_info.name}.{detail}",
+                )
+            )
+
+        for node in walk_function_body(func):
+            # self.<attr> = ... / augmented assigns on self
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                root = tgt
+                while isinstance(root, (ast.Subscript, ast.Attribute)):
+                    inner = root.value
+                    if (
+                        isinstance(root, ast.Attribute)
+                        and isinstance(inner, ast.Name)
+                        and inner.id == "self"
+                    ):
+                        emit(
+                            "SC201",
+                            "error",
+                            node.lineno,
+                            f"writes self.{root.attr} on the gate evaluation path — "
+                            "the batch gate evaluates each filter once per frame, so "
+                            "stateful filters couple their verdict to batch composition",
+                            "make the filter stateless, or derive the state from the "
+                            "frame itself",
+                            f"self-write.{root.attr}",
+                        )
+                        break
+                    if isinstance(inner, ast.Name) and inner.id in module_names:
+                        emit(
+                            "SC202",
+                            "error",
+                            node.lineno,
+                            f"mutates module-level {inner.id!r} on the gate evaluation path",
+                            "filters must not write shared module state",
+                            f"module-write.{inner.id}",
+                        )
+                        break
+                    root = inner
+
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                emit(
+                    "SC202",
+                    "error",
+                    node.lineno,
+                    f"declares {'global' if isinstance(node, ast.Global) else 'nonlocal'} "
+                    f"{', '.join(node.names)} on the gate evaluation path",
+                    "filters must not rebind enclosing-scope state",
+                    f"scope-write.{'.'.join(node.names)}",
+                )
+
+            if isinstance(node, ast.Call):
+                name = _call_name(node, module)
+                if name is not None and _is_raw_rng_call(name):
+                    emit(
+                        "SC203",
+                        "error",
+                        node.lineno,
+                        f"uses raw RNG {name}() on the gate evaluation path — verdicts "
+                        "must be deterministic per frame regardless of evaluation order",
+                        "draw through repro.common.rng (derive_rng / stable_uniform / "
+                        "bernoulli), keyed by frame id",
+                        f"rng.{name}",
+                    )
+                # mutating method on a self attribute, e.g. self._seen.add(x)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Attribute)
+                    and isinstance(node.func.value.value, ast.Name)
+                    and node.func.value.value.id == "self"
+                ):
+                    emit(
+                        "SC201",
+                        "error",
+                        node.lineno,
+                        f"mutates self.{node.func.value.attr} "
+                        f"(.{node.func.attr}()) on the gate evaluation path",
+                        "make the filter stateless",
+                        f"self-mutate.{node.func.value.attr}",
+                    )
+                # follow local helpers: self.helper() and module functions
+                findings.extend(
+                    self._follow_call(index, filter_info, owner, node, chain, depth, seen)
+                )
+        return findings
+
+    def _follow_call(
+        self,
+        index: ClassIndex,
+        filter_info: ClassInfo,
+        owner: ClassInfo,
+        node: ast.Call,
+        chain: Tuple[str, ...],
+        depth: int,
+        seen: Set[str],
+    ) -> List[Finding]:
+        module = owner.module
+        # self.helper(...)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            resolved = index.lookup_method(owner, node.func.attr)
+            if resolved is not None:
+                helper_owner, helper = resolved
+                return self._check_eval_path(
+                    index,
+                    filter_info,
+                    helper_owner,
+                    helper,
+                    chain + (node.func.attr,),
+                    depth + 1,
+                    seen,
+                )
+        # module_function(...)
+        if isinstance(node.func, ast.Name):
+            helper = module_functions(module).get(node.func.id)
+            if helper is not None:
+                return self._check_eval_path(
+                    index, filter_info, owner, helper, chain + (node.func.id,), depth + 1, seen
+                )
+        return []
+
+    # -- SC204: package-wide RNG seeding policy ---------------------------------
+    def _check_rng_policy(self, target: AnalysisTarget) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in target.modules:
+            if module.dotted.endswith("common.rng"):
+                continue  # the sanctioned implementation itself
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node, module)
+                if name is None or not _is_rng_constructor(name):
+                    continue
+                findings.append(
+                    Finding(
+                        rule_id="SC204",
+                        severity="error",
+                        path=module.relpath,
+                        line=node.lineno,
+                        symbol=module.dotted,
+                        message=(
+                            f"constructs a raw RNG via {name}() — seeding policy lives in "
+                            "repro.common.rng so streams stay bit-reproducible and "
+                            "independent of evaluation order"
+                        ),
+                        fix_hint="use repro.common.rng.derive_rng(seed, *stream_key)",
+                        fingerprint=f"raw-rng.{name}",
+                    )
+                )
+        return findings

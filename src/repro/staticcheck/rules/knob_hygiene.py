@@ -1,0 +1,111 @@
+"""SC5xx — hygiene of feature knobs (``enable_*`` / ``enabled`` flags).
+
+The engine's optimizations ship behind boolean knobs.  The repo's policy:
+a knob defaults to **False** (new behaviour is opt-in until it has earned
+paper-default status), is **exercised by at least one test** (a knob
+nobody flips is dead weight or, worse, untested live code), and is
+**documented** (users cannot opt into what they cannot find).  Deliberate
+default-True knobs — paper-default semantics — are baselined with a
+justification rather than silently exempted.
+
+Findings
+--------
+* ``SC501`` boolean knob defaulting to something other than False
+* ``SC502`` knob never referenced by any test
+* ``SC503`` knob not mentioned in the documentation
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.staticcheck.astutils import ClassIndex, annotation_names
+from repro.staticcheck.core import AnalysisTarget, CheckConfig, Finding, Rule, register_rule
+
+
+def _is_knob_name(name: str) -> bool:
+    return name.startswith("enable_") or name == "enabled"
+
+
+@register_rule
+class KnobHygieneRule(Rule):
+    name = "knob-hygiene"
+    id_prefix = "SC5"
+    description = (
+        "every enable_* knob defaults to False, is exercised by at least "
+        "one test, and is documented"
+    )
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        knobs = list(self._knobs(target))
+        test_blob = "\n".join(config.test_texts())
+        doc_blob = "\n".join(config.doc_texts())
+        for info_qualname, relpath, name, line, default in knobs:
+            owner = info_qualname.split(".")[-1]
+            if default is not False:
+                shown = repr(default) if default is not None else "a non-literal expression"
+                findings.append(
+                    Finding(
+                        rule_id="SC501",
+                        severity="error",
+                        path=relpath,
+                        line=line,
+                        symbol=f"{info_qualname}.{name}",
+                        message=(
+                            f"knob defaults to {shown}; policy is opt-in (False) unless the "
+                            "behaviour is paper-default and baselined with a justification"
+                        ),
+                        fix_hint="default the knob to False, or baseline it with a reason",
+                        fingerprint=f"{owner}.{name}.default",
+                    )
+                )
+            if test_blob and name != "enabled" and name not in test_blob:
+                findings.append(
+                    Finding(
+                        rule_id="SC502",
+                        severity="warning",
+                        path=relpath,
+                        line=line,
+                        symbol=f"{info_qualname}.{name}",
+                        message="knob is never referenced by any test",
+                        fix_hint="add a test that exercises the knob in both positions",
+                        fingerprint=f"{owner}.{name}.untested",
+                    )
+                )
+            if doc_blob and name != "enabled" and name not in doc_blob:
+                findings.append(
+                    Finding(
+                        rule_id="SC503",
+                        severity="warning",
+                        path=relpath,
+                        line=line,
+                        symbol=f"{info_qualname}.{name}",
+                        message="knob is not mentioned anywhere in the documentation",
+                        fix_hint="add the knob to the configuration docs (docs/*.md)",
+                        fingerprint=f"{owner}.{name}.undocumented",
+                    )
+                )
+        return findings
+
+    def _knobs(
+        self, target: AnalysisTarget
+    ) -> Iterator[Tuple[str, str, str, int, object]]:
+        """(class qualname, relpath, knob name, line, default literal or None)."""
+        index = ClassIndex(target)
+        for info in index.by_qualname.values():
+            for item in info.node.body:
+                if not isinstance(item, ast.AnnAssign) or not isinstance(item.target, ast.Name):
+                    continue
+                name = item.target.id
+                if not _is_knob_name(name):
+                    continue
+                names = annotation_names(item.annotation, info.module)
+                if "bool" not in [n.split(".")[-1] for n in names]:
+                    continue
+                if isinstance(item.value, ast.Constant):
+                    default = item.value.value
+                else:
+                    default = None if item.value is not None else False
+                yield info.qualname, info.module.relpath, name, item.lineno, default

@@ -1,0 +1,321 @@
+"""SC3xx — picklability audit for shard-parallel execution.
+
+The roadmap's shard-parallel executor will ship query plans, streams, and
+execution context to worker processes.  Everything reachable from those
+roots must therefore cross a process boundary — anything holding a lock, a
+generator, a lambda, a thread handle, or an open file will fail at
+``pickle`` time, deep inside the pool, with a stack trace pointing nowhere
+near the offending field.  This rule walks the plan/stream/context/config
+classes and emits the exact field list that would block pickling, so the
+shard-parallel PR starts from a concrete worklist instead of a crash loop.
+
+Findings
+--------
+* ``SC301`` field annotated with an unpicklable type
+* ``SC302`` field assigned an unpicklable value (lambda / generator /
+  open file / lock constructor)
+* ``SC303`` lambda registered as a zoo factory (the registry travels with
+  the execution context)
+* ``SC304`` field annotated ``Callable`` (advisory: picklable only for
+  module-level functions)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.staticcheck.astutils import ClassIndex, ClassInfo, annotation_names
+from repro.staticcheck.core import AnalysisTarget, CheckConfig, Finding, ModuleInfo, Rule, register_rule
+
+#: Bare class names that anchor the reachability roots.
+ROOT_CLASS_NAMES = ("QueryPlan", "ExecutionContext", "PlannerConfig")
+
+#: Subclasses of these bases are roots too.
+ROOT_BASE_NAMES = ("QueryStream",)
+
+#: Modules whose dataclasses are shipped wholesale (configs).
+CONFIG_MODULE_SUFFIXES = ("common.config",)
+
+#: Resolved type names that cannot cross a process boundary.
+UNPICKLABLE_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Thread",
+    "threading.local",
+    "_thread.LockType",
+    "concurrent.futures.Executor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.Future",
+    "typing.Generator",
+    "typing.Iterator",
+    "typing.AsyncGenerator",
+    "collections.abc.Generator",
+    "collections.abc.Iterator",
+    "typing.IO",
+    "typing.TextIO",
+    "typing.BinaryIO",
+    "io.IOBase",
+    "io.TextIOWrapper",
+    "io.BufferedReader",
+    "io.BufferedWriter",
+    "socket.socket",
+}
+
+#: Advisory: picklable only when the value is a module-level function.
+CALLABLE_TYPES = {"typing.Callable", "collections.abc.Callable", "Callable"}
+
+#: Constructor calls whose result is unpicklable.
+UNPICKLABLE_CONSTRUCTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.Thread",
+    "threading.local",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "open",
+}
+
+
+def _resolve_call_name(node: ast.Call, module: ModuleInfo) -> Optional[str]:
+    name = module.resolve_attr_chain(node.func)
+    if name is None and isinstance(node.func, ast.Name):
+        name = module.resolve_name(node.func.id)
+    return name
+
+
+def _bad_value_reason(node: ast.AST, module: ModuleInfo) -> Optional[str]:
+    """Why the assigned expression can't be pickled, or None."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda (pickle refuses non-module-level functions)"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression (generators cannot be pickled)"
+    if isinstance(node, ast.Call):
+        name = _resolve_call_name(node, module)
+        if name in UNPICKLABLE_CONSTRUCTORS:
+            return f"{name}() (unpicklable object)"
+        # field(default_factory=lambda: ...) — the factory runs per
+        # instance, so inspect the factory result instead.
+        if name in ("field", "dataclasses.field"):
+            for kw in node.keywords:
+                if kw.arg == "default_factory" and isinstance(kw.value, ast.Lambda):
+                    inner = _bad_value_reason(kw.value.body, module)
+                    if inner is not None:
+                        return inner
+    return None
+
+
+@register_rule
+class PicklabilityRule(Rule):
+    name = "picklability"
+    id_prefix = "SC3"
+    description = (
+        "plans, streams, execution context and configs hold only state that "
+        "can cross a process boundary (shard-parallel entry gate)"
+    )
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        index = ClassIndex(target)
+        findings: List[Finding] = []
+        for info in self._roots(index):
+            findings.extend(self._check_class(index, info))
+        findings.extend(self._check_registered_factories(target))
+        unique: Dict[str, Finding] = {}
+        for finding in findings:
+            unique.setdefault(finding.key, finding)
+        return list(unique.values())
+
+    # -- root discovery ---------------------------------------------------------
+    def _roots(self, index: ClassIndex) -> List[ClassInfo]:
+        roots: Dict[str, ClassInfo] = {}
+
+        def add(infos: Iterable[ClassInfo]) -> None:
+            for info in infos:
+                roots.setdefault(info.qualname, info)
+
+        for name in ROOT_CLASS_NAMES:
+            add(index.by_name.get(name, []))
+            add(index.subclasses_of(name))
+        for base in ROOT_BASE_NAMES:
+            add(index.by_name.get(base, []))
+            add(index.subclasses_of(base))
+        for info in index.by_qualname.values():
+            if info.is_dataclass() and any(
+                info.module.dotted.endswith(suffix) for suffix in CONFIG_MODULE_SUFFIXES
+            ):
+                add([info])
+        return sorted(roots.values(), key=lambda i: i.qualname)
+
+    # -- per-class field audit --------------------------------------------------
+    def _check_class(self, index: ClassIndex, info: ClassInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for field_name, annotation, value, line in self._fields(index, info):
+            names = set(annotation_names(annotation, info.module))
+            bad_types = sorted(names & UNPICKLABLE_TYPES)
+            if bad_types:
+                findings.append(
+                    Finding(
+                        rule_id="SC301",
+                        severity="error",
+                        path=info.module.relpath,
+                        line=line,
+                        symbol=f"{info.qualname}.{field_name}",
+                        message=(
+                            f"field is typed {'/'.join(bad_types)} — it cannot cross the "
+                            "process boundary the shard-parallel executor needs"
+                        ),
+                        fix_hint=(
+                            "recreate the object inside the worker (e.g. build locks/"
+                            "handles lazily after fork) or exclude the field from the "
+                            "shipped state"
+                        ),
+                        fingerprint=f"{info.name}.{field_name}.type",
+                    )
+                )
+            if names & CALLABLE_TYPES:
+                findings.append(
+                    Finding(
+                        rule_id="SC304",
+                        severity="info",
+                        path=info.module.relpath,
+                        line=line,
+                        symbol=f"{info.qualname}.{field_name}",
+                        message=(
+                            "field is typed Callable — picklable only when the value is a "
+                            "module-level function (lambdas and closures will fail)"
+                        ),
+                        fix_hint="document the constraint or store a registry key instead",
+                        fingerprint=f"{info.name}.{field_name}.callable",
+                    )
+                )
+            if value is not None:
+                reason = _bad_value_reason(value, info.module)
+                if reason is not None:
+                    findings.append(
+                        Finding(
+                            rule_id="SC302",
+                            severity="error",
+                            path=info.module.relpath,
+                            line=line,
+                            symbol=f"{info.qualname}.{field_name}",
+                            message=f"field default/assignment is {reason}",
+                            fix_hint=(
+                                "replace with a module-level function or construct the "
+                                "object lazily inside the worker"
+                            ),
+                            fingerprint=f"{info.name}.{field_name}.value",
+                        )
+                    )
+        return findings
+
+    def _fields(
+        self, index: ClassIndex, info: ClassInfo
+    ) -> List[Tuple[str, Optional[ast.AST], Optional[ast.AST], int]]:
+        """(name, annotation, value, line) for every instance field.
+
+        Dataclasses declare fields at class level; plain classes get their
+        ``__init__`` self-assignments (annotation taken from a matching
+        parameter when the value is that bare parameter).
+        """
+        fields: List[Tuple[str, Optional[ast.AST], Optional[ast.AST], int]] = []
+        seen: Set[str] = set()
+        if info.is_dataclass():
+            for item in info.node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                    if item.target.id not in seen:
+                        seen.add(item.target.id)
+                        fields.append((item.target.id, item.annotation, item.value, item.lineno))
+        resolved = index.lookup_method(info, "__init__")
+        if resolved is not None:
+            owner, init = resolved
+            params: Dict[str, Optional[ast.AST]] = {}
+            for arg in list(init.args.posonlyargs) + list(init.args.args) + list(init.args.kwonlyargs):
+                params[arg.arg] = arg.annotation
+            for node in ast.walk(init):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                for tgt in targets:
+                    if (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                        and tgt.attr not in seen
+                    ):
+                        seen.add(tgt.attr)
+                        annotation = getattr(node, "annotation", None)
+                        if (
+                            annotation is None
+                            and isinstance(value, ast.Name)
+                            and value.id in params
+                        ):
+                            annotation = params[value.id]
+                        fields.append((tgt.attr, annotation, value, node.lineno))
+        return fields
+
+    # -- SC303: zoo factory lambdas ---------------------------------------------
+    def _check_registered_factories(self, target: AnalysisTarget) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in target.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr != "register":
+                    continue
+                reg_name = None
+                name_exprs = list(node.args) + [
+                    kw.value for kw in node.keywords if kw.arg == "name"
+                ]
+                for arg in name_exprs:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        reg_name = arg.value
+                        break
+                    if isinstance(arg, ast.JoinedStr):
+                        # f-string name: keep the constant parts so the
+                        # fingerprint stays line-stable.
+                        reg_name = "*".join(
+                            part.value
+                            for part in arg.values
+                            if isinstance(part, ast.Constant) and isinstance(part.value, str)
+                        ) or None
+                        break
+                lam = next(
+                    (
+                        arg
+                        for arg in list(node.args) + [kw.value for kw in node.keywords]
+                        if isinstance(arg, ast.Lambda)
+                    ),
+                    None,
+                )
+                if lam is None:
+                    continue
+                label = reg_name or f"line{node.lineno}"
+                findings.append(
+                    Finding(
+                        rule_id="SC303",
+                        severity="error",
+                        path=module.relpath,
+                        line=node.lineno,
+                        symbol=f"{module.dotted}:{label}",
+                        message=(
+                            f"registers factory {label!r} as a lambda — the registry is "
+                            "reachable from ExecutionContext, so it must pickle for "
+                            "shard-parallel workers"
+                        ),
+                        fix_hint=(
+                            "register a module-level factory function (functools.partial "
+                            "over one also works)"
+                        ),
+                        fingerprint=f"register-lambda.{label}",
+                    )
+                )
+        return findings

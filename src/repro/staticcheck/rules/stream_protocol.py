@@ -1,0 +1,207 @@
+"""SC1xx — stream-protocol conformance.
+
+Every :class:`~repro.backend.streaming.QueryStream` subclass must speak the
+scan scheduler's protocol: the three core hooks (``plan_streams`` /
+``observe_frame`` / ``finalize``) must exist, and every protocol override
+(``done`` / ``drain_events`` / ``lookback_frames`` / the watermark pair)
+must keep a compatible signature — the scheduler calls them positionally,
+so an override that grows a required parameter fails only at scan time, on
+whichever workload first retires a stream.  Call-sites must not bypass the
+protocol either: reaching into another module's stream internals
+(underscore attributes) couples the scheduler to one implementation and
+breaks every other subclass.
+
+Findings
+--------
+* ``SC101`` missing protocol method on a concrete stream subclass
+* ``SC102`` protocol override with an incompatible signature
+* ``SC103`` cross-module access to a stream's private attribute
+* ``SC104`` protocol method called with the wrong arity
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.astutils import ClassIndex, ClassInfo
+from repro.staticcheck.core import AnalysisTarget, CheckConfig, Finding, Rule, register_rule
+
+#: The anchor base class all stream implementations derive from.
+STREAM_BASE = "QueryStream"
+
+#: Protocol methods -> their positional parameter names (including self).
+PROTOCOL_SIGNATURES: Dict[str, Tuple[str, ...]] = {
+    "plan_streams": ("self",),
+    "observe_frame": ("self", "frame_id"),
+    "finalize": ("self", "video", "ctx"),
+    "done": ("self",),
+    "lookback_frames": ("self",),
+    "drain_events": ("self",),
+    "min_future_event_start": ("self", "frame_id"),
+    "min_future_event_end": ("self", "frame_id"),
+}
+
+#: Hooks without a default implementation — every concrete subclass needs
+#: them (directly or via an ancestor).
+REQUIRED_METHODS = ("plan_streams", "observe_frame", "finalize")
+
+
+def _positional_arity(func: ast.FunctionDef) -> Tuple[int, int, bool]:
+    """(min positional args, max positional args, accepts *args)."""
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    n_defaults = len(args.defaults)
+    return len(positional) - n_defaults, len(positional), args.vararg is not None
+
+
+@register_rule
+class StreamProtocolRule(Rule):
+    name = "stream-protocol"
+    id_prefix = "SC1"
+    description = (
+        "QueryStream subclasses implement the scan-scheduler protocol with "
+        "compatible signatures, and call-sites never bypass it"
+    )
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        index = ClassIndex(target)
+        findings: List[Finding] = []
+        stream_classes = index.subclasses_of(STREAM_BASE)
+
+        for info in stream_classes:
+            findings.extend(self._check_subclass(index, info))
+
+        findings.extend(self._check_private_access(target, index, stream_classes))
+        findings.extend(self._check_call_arity(target))
+        return findings
+
+    # -- SC101 / SC102 ----------------------------------------------------------
+    def _check_subclass(self, index: ClassIndex, info: ClassInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        concrete = not info.has_abstract_methods()
+
+        if concrete:
+            for method_name in REQUIRED_METHODS:
+                if index.lookup_method(info, method_name) is None:
+                    findings.append(
+                        Finding(
+                            rule_id="SC101",
+                            severity="error",
+                            path=info.module.relpath,
+                            line=info.node.lineno,
+                            symbol=info.qualname,
+                            message=(
+                                f"stream subclass does not implement the required "
+                                f"protocol method {method_name}()"
+                            ),
+                            fix_hint=(
+                                f"implement {method_name}{PROTOCOL_SIGNATURES[method_name]} "
+                                "or inherit it from a concrete stream base"
+                            ),
+                            fingerprint=f"{info.name}.missing.{method_name}",
+                        )
+                    )
+
+        for method_name, expected in PROTOCOL_SIGNATURES.items():
+            method = info.methods().get(method_name)
+            if method is None:
+                continue
+            lo, hi, varargs = _positional_arity(method)
+            want = len(expected)
+            compatible = (lo <= want <= hi) or (varargs and lo <= want)
+            if not compatible:
+                findings.append(
+                    Finding(
+                        rule_id="SC102",
+                        severity="error",
+                        path=info.module.relpath,
+                        line=method.lineno,
+                        symbol=f"{info.qualname}.{method_name}",
+                        message=(
+                            f"protocol override accepts {lo}..{hi} positional args, but the "
+                            f"scheduler calls {method_name} with {want} "
+                            f"({', '.join(expected)})"
+                        ),
+                        fix_hint=f"match the base signature {method_name}{expected} "
+                        "(extra parameters need defaults)",
+                        fingerprint=f"{info.name}.{method_name}.signature",
+                    )
+                )
+        return findings
+
+    # -- SC103 ------------------------------------------------------------------
+    def _check_private_access(
+        self, target: AnalysisTarget, index: ClassIndex, stream_classes: List[ClassInfo]
+    ) -> List[Finding]:
+        # Private state of each stream class, and the module defining it.
+        private_owners: Dict[str, Set[str]] = {}
+        for info in stream_classes:
+            for attr in info.self_attribute_names():
+                if attr.startswith("_") and not attr.startswith("__"):
+                    private_owners.setdefault(attr, set()).add(info.module.relpath)
+
+        findings: List[Finding] = []
+        for module in target.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                attr = node.attr
+                owners = private_owners.get(attr)
+                if owners is None or module.relpath in owners:
+                    continue
+                # self._x inside the defining class is fine; any other
+                # receiver in a foreign module is a protocol bypass.
+                if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                    continue
+                findings.append(
+                    Finding(
+                        rule_id="SC103",
+                        severity="error",
+                        path=module.relpath,
+                        line=node.lineno,
+                        symbol=f"{module.dotted}",
+                        message=(
+                            f"accesses stream-private attribute .{attr} "
+                            f"(owned by {'/'.join(sorted(owners))}) instead of the "
+                            "scheduler protocol"
+                        ),
+                        fix_hint="use the QueryStream protocol (done/drain_events/"
+                        "lookback_frames/watermarks) or add a public accessor",
+                        fingerprint=f"private-access.{attr}",
+                    )
+                )
+        return findings
+
+    # -- SC104 ------------------------------------------------------------------
+    def _check_call_arity(self, target: AnalysisTarget) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in target.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                    continue
+                name = node.func.attr
+                expected = PROTOCOL_SIGNATURES.get(name)
+                if expected is None:
+                    continue
+                want = len(expected) - 1  # receiver is implicit at the call
+                given = len(node.args) + len(node.keywords)
+                if any(isinstance(a, ast.Starred) for a in node.args):
+                    continue
+                if given != want:
+                    findings.append(
+                        Finding(
+                            rule_id="SC104",
+                            severity="error",
+                            path=module.relpath,
+                            line=node.lineno,
+                            symbol=module.dotted,
+                            message=(
+                                f"calls protocol method {name}() with {given} args; "
+                                f"the protocol takes {want}"
+                            ),
+                            fix_hint=f"call {name} as {name}{tuple(expected[1:])}",
+                            fingerprint=f"call-arity.{name}.{given}",
+                        )
+                    )
+        return findings

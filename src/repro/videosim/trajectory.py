@@ -23,6 +23,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.rng import derive_rng
+
 Point = Tuple[float, float]
 
 #: Speed (pixels/frame) below which an object counts as stopped.
@@ -160,7 +162,7 @@ class StationaryTrajectory(Trajectory):
     def position(self, frame_id: int) -> Point:
         if self.jitter <= 0:
             return self.center
-        rng = np.random.default_rng((self.seed * 1_000_003 + frame_id) & 0xFFFFFFFF)
+        rng = derive_rng(self.seed, "stationary_jitter", frame_id)
         dx, dy = rng.normal(0.0, self.jitter, size=2)
         return (self.center[0] + float(dx), self.center[1] + float(dy))
 

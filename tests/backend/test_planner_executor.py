@@ -60,6 +60,21 @@ class TestAnalysis:
         assert "color" in info.intrinsic_properties
         assert len(info.conjuncts) == 2
 
+    def test_variable_info_accepts_equal_but_distinct_vobj(self):
+        # A VObj rebuilt outside the analyzed query (e.g. a re-declared query
+        # or a plan shipped across a process boundary) names the same logical
+        # variable; lookup must fall back to the variable name instead of
+        # demanding the identical object.
+        analysis = analyze_query(RedCarQuery())
+        rebuilt = Car("car")
+        info = analysis.variable_info(rebuilt)
+        assert info is analysis.variables[0]
+
+    def test_variable_info_unknown_name_still_raises(self):
+        analysis = analyze_query(RedCarQuery())
+        with pytest.raises(PlanError, match="unknown variable"):
+            analysis.variable_info(Car("other_car"))
+
     def test_video_constraint_pushdown(self):
         analysis = analyze_query(TurnCountQuery())
         assert analysis.filters_from_video_constraint

@@ -1,0 +1,19 @@
+"""Fixture-package paths for the staticcheck tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def cleanpkg() -> Path:
+    return FIXTURES / "cleanpkg"
+
+
+@pytest.fixture(scope="session")
+def badpkg() -> Path:
+    return FIXTURES / "badpkg"

@@ -1,0 +1,1 @@
+"""Fixture package seeded with one violation per staticcheck finding id."""

@@ -1,0 +1,14 @@
+"""Call-sites that bypass or misuse the stream protocol."""
+
+from __future__ import annotations
+
+from badpkg.streaming import WrongSignatureStream
+
+
+def peek(stream: WrongSignatureStream):
+    return stream._buf[-1]  # SC103: private attribute of a stream
+
+
+def drive(stream: WrongSignatureStream, frames):
+    for frame_id in frames:
+        stream.observe_frame(frame_id, True)  # SC104: wrong arity

@@ -1,0 +1,41 @@
+"""Frame filters violating gate purity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_HITS: dict = {}
+
+
+def _tally(frame) -> None:
+    _HITS[frame.frame_id] = True  # SC202 (reached two helpers deep)
+
+
+class StatefulFilter:
+    def __init__(self) -> None:
+        self._last = None
+
+    def keep(self, frame) -> bool:
+        previous = self._last
+        self._last = frame  # SC201: state on the evaluation path
+        return previous is None
+
+
+class CountingFilter:
+    """Mutation buried two calls deep: keep -> _record -> _tally."""
+
+    def keep(self, frame) -> bool:
+        self._record(frame)
+        return True
+
+    def _record(self, frame) -> None:
+        _tally(frame)
+
+
+class NoisyFilter:
+    def keep(self, frame) -> bool:
+        return np.random.random() < 0.5  # SC203: raw RNG on the eval path
+
+
+def fresh_rng(seed: int):
+    return np.random.default_rng(seed)  # SC204: raw RNG construction

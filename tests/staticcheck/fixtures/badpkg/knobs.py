@@ -1,0 +1,11 @@
+"""Feature knobs violating the opt-in policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RiskyConfig:
+    enable_turbo: bool = True  # SC501: defaults on
+    enable_phantom: bool = False  # SC502/SC503: untested, undocumented

@@ -1,0 +1,30 @@
+"""Plan/context state that cannot cross a process boundary."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class QueryPlan:
+    name: str
+    guard: Optional[threading.Lock] = None  # SC301: unpicklable type
+    scorer: Callable[[int], float] = len  # SC304: callable field (advisory)
+    factory: object = field(default_factory=lambda: threading.Lock())  # SC302
+
+
+class ExecutionContext:
+    def __init__(self, seed: int, pool: Optional[threading.Thread] = None) -> None:
+        self.seed = seed
+        self.worker = pool  # SC301 via the parameter annotation
+        self.frames = (i for i in range(3))  # SC302: generator state
+
+
+def install(zoo) -> None:
+    zoo.register(
+        "bad_factory",
+        lambda **kw: object(),  # SC303: lambda factory in the registry
+        kind="binary_classifier",
+    )

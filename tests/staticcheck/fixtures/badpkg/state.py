@@ -1,0 +1,24 @@
+"""Module state shared with worker threads, without a lock."""
+
+from __future__ import annotations
+
+_results: dict = {}
+_totals: list = []
+_current = None
+
+
+def record(key: str, value: object) -> None:
+    _results[key] = value  # SC401: item-write without a lock
+
+
+def accumulate(value: float) -> None:
+    _totals.append(value)  # SC401: mutating call without a lock
+
+
+def set_current(value: object) -> None:
+    global _current
+    _current = value  # SC401: rebind without a lock
+
+
+def fan_out(executor, jobs):
+    return [executor.submit(lambda: job()) for job in jobs]  # SC402

@@ -1,0 +1,44 @@
+"""Streams violating the scheduler protocol."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class QueryStream:
+    """Fixture anchor playing the role of the real QueryStream base."""
+
+    def done(self) -> bool:
+        return False
+
+    def lookback_frames(self) -> int:
+        return 0
+
+    def drain_events(self) -> List[int]:
+        return []
+
+
+class IncompleteStream(QueryStream):
+    """SC101: concrete subclass without observe_frame/finalize."""
+
+    def plan_streams(self):
+        return [self]
+
+
+class WrongSignatureStream(QueryStream):
+    """SC102: protocol overrides that grew required parameters."""
+
+    def __init__(self) -> None:
+        self._buf: List[int] = []
+
+    def plan_streams(self):
+        return [self]
+
+    def observe_frame(self, frame_id: int) -> None:
+        self._buf.append(frame_id)
+
+    def finalize(self, video, ctx) -> None:
+        pass
+
+    def done(self, frame) -> bool:  # SC102: scheduler calls done()
+        return frame in self._buf

@@ -1,0 +1,1 @@
+"""Fixture package with no violations: every rule must stay silent."""

@@ -1,0 +1,18 @@
+"""A pure frame filter: stateless, deterministic, helper-using."""
+
+from __future__ import annotations
+
+
+def _brightness(frame) -> float:
+    return sum(frame.pixels) / max(len(frame.pixels), 1)
+
+
+class PureFilter:
+    def __init__(self, threshold: float = 0.5) -> None:
+        self.threshold = threshold
+
+    def keep(self, frame) -> bool:
+        return self._score(frame) >= self.threshold
+
+    def _score(self, frame) -> float:
+        return _brightness(frame)

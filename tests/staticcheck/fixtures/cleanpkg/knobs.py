@@ -1,0 +1,11 @@
+"""A hygienic feature knob: boolean, opt-in, default False."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FeatureConfig:
+    enable_widget: bool = False
+    widget_budget: int = 4

@@ -1,0 +1,19 @@
+"""Picklable plan/context dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class QueryPlan:
+    name: str
+    steps: Tuple[str, ...] = ()
+    costs: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionContext:
+    seed: int = 0
+    outputs: List[str] = field(default_factory=list)

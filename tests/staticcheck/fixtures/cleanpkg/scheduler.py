@@ -1,0 +1,14 @@
+"""Call-sites that use only the public stream protocol."""
+
+from __future__ import annotations
+
+from cleanpkg.streaming import GoodStream
+
+
+def drive(stream: GoodStream, frames, video, ctx):
+    for frame_id in frames:
+        stream.observe_frame(frame_id)
+        if stream.done():
+            break
+    stream.finalize(video, ctx)
+    return stream.drain_events()

@@ -1,0 +1,28 @@
+"""Module state done right: constants untouched, mutation lock-guarded."""
+
+from __future__ import annotations
+
+import threading
+
+DEFAULTS = {"stride": 1, "batch": 8}  # read-only: never mutated
+
+_cache: dict = {}
+_cache_lock = threading.Lock()
+
+
+def remember(key: str, value: object) -> None:
+    with _cache_lock:
+        _cache[key] = value
+
+
+def lookup(key: str) -> object:
+    with _cache_lock:
+        return _cache.get(key)
+
+
+def run_all(pool, jobs):
+    return [pool.submit(run_one, job) for job in jobs]
+
+
+def run_one(job):
+    return job()

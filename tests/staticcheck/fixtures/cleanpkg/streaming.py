@@ -1,0 +1,48 @@
+"""A well-behaved stream hierarchy mirroring the real protocol."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class QueryStream:
+    """Fixture anchor playing the role of the real QueryStream base."""
+
+    def done(self) -> bool:
+        return False
+
+    def lookback_frames(self) -> int:
+        return 0
+
+    def drain_events(self) -> List[int]:
+        return []
+
+    def min_future_event_start(self, frame_id: int) -> Optional[int]:
+        return None
+
+    def min_future_event_end(self, frame_id: int) -> Optional[int]:
+        return None
+
+
+class GoodStream(QueryStream):
+    def __init__(self) -> None:
+        self._events: List[int] = []
+
+    def plan_streams(self):
+        return [self]
+
+    def observe_frame(self, frame_id: int) -> None:
+        self._events.append(frame_id)
+
+    def finalize(self, video, ctx) -> None:
+        self._events.clear()
+
+    def done(self) -> bool:
+        return bool(self._events)
+
+
+class LazyStream(GoodStream):
+    """Inherits the whole protocol from a concrete parent — still fine."""
+
+    def done(self, *extra) -> bool:  # extra positional slack is compatible
+        return False

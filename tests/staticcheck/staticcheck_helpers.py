@@ -1,0 +1,22 @@
+"""Helpers shared by the staticcheck tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.staticcheck import CheckConfig, run_checks
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def findings_for(root: Path, rule: str, config: Optional[CheckConfig] = None):
+    return run_checks(root, rule_names=[rule], config=config)
+
+
+def ids_of(findings) -> set:
+    return {f.rule_id for f in findings}
+
+
+def keys_of(findings) -> set:
+    return {f.key for f in findings}

@@ -1,0 +1,72 @@
+"""Baseline suppression semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from staticcheck_helpers import findings_for
+
+from repro.staticcheck import Baseline, BaselineEntry, Finding
+
+
+def _finding(**kw):
+    base = dict(
+        rule_id="SC999",
+        severity="error",
+        path="x.py",
+        line=1,
+        symbol="X",
+        message="m",
+        fingerprint="X.f",
+    )
+    base.update(kw)
+    return Finding(**base)
+
+
+def test_entry_suppresses_exactly_one_finding(badpkg):
+    findings = findings_for(badpkg, "stream-protocol")
+    target_key = "SC102::streaming.py::WrongSignatureStream.done.signature"
+    assert target_key in {f.key for f in findings}
+    baseline = Baseline([BaselineEntry(key=target_key, reason="tracked debt")])
+    active, suppressed, stale = baseline.split(findings)
+    assert [f.key for f in suppressed] == [target_key]
+    assert stale == []
+    assert len(active) == len(findings) - 1
+    assert target_key not in {f.key for f in active}
+
+
+def test_stale_entry_reported(badpkg):
+    findings = findings_for(badpkg, "stream-protocol")
+    baseline = Baseline([BaselineEntry(key="SC102::gone.py::Gone.done.signature", reason="r")])
+    active, suppressed, stale = baseline.split(findings)
+    assert suppressed == []
+    assert [e.key for e in stale] == ["SC102::gone.py::Gone.done.signature"]
+    assert len(active) == len(findings)
+
+
+def test_info_findings_are_visible_but_nonfatal():
+    info = _finding(severity="info")
+    active, suppressed, stale = Baseline().split([info])
+    assert active == [info]  # still shown...
+    # ...but the CLI treats only error/warning as fatal (exercised in test_cli)
+
+
+def test_baseline_requires_reasons_and_unique_keys():
+    with pytest.raises(ValueError, match="justification"):
+        Baseline([BaselineEntry(key="k", reason="  ")])
+    with pytest.raises(ValueError, match="duplicate"):
+        Baseline([BaselineEntry(key="k", reason="a"), BaselineEntry(key="k", reason="b")])
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline([BaselineEntry(key="b", reason="2"), BaselineEntry(key="a", reason="1")]).save(path)
+    loaded = Baseline.load(path)
+    assert [e.key for e in loaded.entries] == ["a", "b"]  # sorted on save
+    assert loaded.entries[0].reason == "1"
+
+
+def test_line_drift_keeps_key_stable():
+    before = _finding(line=10)
+    after = _finding(line=99)
+    assert before.key == after.key

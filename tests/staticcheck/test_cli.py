@@ -1,0 +1,102 @@
+"""CLI behaviour: formats, exit codes, baseline workflow."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.staticcheck.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_text_output_and_exit_code(badpkg):
+    code, output = run_cli(str(badpkg))
+    assert code == 1
+    assert "SC101" in output and "hint:" in output
+    assert "stale" in output  # summary line
+
+
+def test_clean_package_exits_zero(cleanpkg):
+    code, output = run_cli(str(cleanpkg))
+    assert code == 0
+    assert "0 finding(s)" in output
+
+
+def test_json_output(badpkg):
+    code, output = run_cli(str(badpkg), "--format", "json")
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["summary"]["active"] > 0
+    assert payload["summary"]["stale"] == 0
+    keys = {f["key"] for f in payload["findings"]}
+    assert "SC103::consumer.py::private-access._buf" in keys
+    severities = {f["severity"] for f in payload["findings"]}
+    assert severities <= {"error", "warning", "info"}
+
+
+def test_rule_selection(badpkg):
+    code, output = run_cli(str(badpkg), "--rule", "knob-hygiene", "--format", "json")
+    payload = json.loads(output)
+    assert payload["rules"] == ["knob-hygiene"]
+    assert {f["rule_id"] for f in payload["findings"]} == {"SC501"}
+
+
+def test_write_baseline_then_clean(badpkg, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    code, _ = run_cli(str(badpkg), "--write-baseline", str(baseline))
+    assert code == 0 and baseline.is_file()
+    code, output = run_cli(str(badpkg), "--baseline", str(baseline))
+    assert code == 0, output
+    assert "0 finding(s)" in output
+
+
+def test_stale_baseline_fails(cleanpkg, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"entries": [{"key": "SC101::no.py::X", "reason": "r"}]}))
+    code, output = run_cli(str(cleanpkg), "--baseline", str(baseline))
+    assert code == 1
+    assert "stale" in output
+
+
+def test_info_findings_do_not_fail(badpkg):
+    # picklability SC304 is advisory; alone it must exit 0
+    code, output = run_cli(str(badpkg), "--rule", "picklability", "--format", "json")
+    payload = json.loads(output)
+    advisory_only = [f for f in payload["findings"] if f["severity"] == "info"]
+    assert advisory_only  # SC304 present...
+    assert payload["summary"]["advisory"] == len(advisory_only)
+    assert code == 1  # ...but the errors still fail the run
+
+
+def test_list_rules():
+    code, output = run_cli("--list-rules")
+    assert code == 0
+    for name in ("stream-protocol", "gate-purity", "picklability", "thread-safety", "knob-hygiene"):
+        assert name in output
+
+
+def test_module_entrypoint_runs_clean_on_repo():
+    """`python -m repro.staticcheck` must pass on src/repro with the repo baseline."""
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.staticcheck", "--format", "json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=repo_root,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["active"] == 0
+    assert payload["summary"]["stale"] == 0
