@@ -25,6 +25,11 @@ def bench_path(name: str) -> str:
     return os.path.join(_OUTPUT_DIR, f"BENCH_{name}.json")
 
 
+def artifact_path(filename: str) -> str:
+    """Any other repo-root build artifact (e.g. ``TRACE_*.json`` exports)."""
+    return os.path.join(_OUTPUT_DIR, filename)
+
+
 def record_bench(name: str, section: str, payload: Dict[str, Any]) -> str:
     """Merge one test's ``payload`` into ``BENCH_<name>.json`` and return its path.
 

@@ -20,7 +20,7 @@ detector invocations than the exhaustive baseline.
 import json
 import time
 
-from _bench_output import record_bench
+from _bench_output import artifact_path, record_bench
 from _scale import scaled
 
 from repro.backend.planner import PlannerConfig
@@ -320,3 +320,121 @@ def test_parallel_multicamera_speedup(benchmark):
         },
     )
     assert speedup >= 1.5  # 4 similar feeds should approach 4x
+
+
+def test_tracing_artifact_and_overhead_gate(benchmark):
+    """Observability acceptance on the 4-feed workload, plus the overhead gate.
+
+    Traced run: exports ``TRACE_scan_scheduler.json`` (Chrome trace-event
+    format, one lane per feed — CI uploads it as an artifact), checks that
+    ``explain()`` prices every planner candidate, and that the decision log
+    accounts for 100% of gated + deferred frames across all feeds.  Results
+    must stay byte-identical to the untraced run, including virtual time.
+
+    Overhead gate: tracing **disabled** must stay within 3% wall-clock of
+    the traced run's floor.  The traced run does strictly more work, so
+    disabled-mode wall time exceeding ``traced * 1.03`` means obs machinery
+    leaked into the ``enable_tracing=False`` hot path — the regression this
+    gate exists to catch.  Min-of-3 interleaved timings keep noise down.
+    """
+    duration = scaled(60.0, minimum=10.0)
+    zoo = get_library_zoo()
+    feeds = {
+        "jackson": camera_clip("jackson", duration_s=duration, seed=2),
+        "banff": camera_clip("banff", duration_s=duration, seed=1),
+        "jackson-2": camera_clip("jackson", duration_s=duration, seed=9),
+        "banff-2": camera_clip("banff", duration_s=duration, seed=4),
+    }
+    # Keep canary profiling ON: explain() must price >=2 candidates for the
+    # gated query (base / no_frame_filters / specialized detector).
+    batch = lambda: [_GatedRedCarQuery(), _PersonQuery()]
+
+    def run(enable_tracing):
+        multi = MultiCameraSession(
+            feeds, zoo=zoo, config=PlannerConfig(enable_tracing=enable_tracing)
+        )
+        wall_start = time.perf_counter()
+        merged = multi.execute_many(batch())
+        return multi, merged, time.perf_counter() - wall_start
+
+    traced_multi, traced_merged, _ = benchmark.pedantic(
+        lambda: run(True), rounds=1, iterations=1
+    )
+
+    # Interleave the timing rounds so drift hits both configurations alike.
+    plain_walls, traced_walls = [], []
+    plain_multi = None
+    for _ in range(3):
+        plain_multi, plain_merged, wall = run(False)
+        plain_walls.append(wall)
+        _, _, wall = run(True)
+        traced_walls.append(wall)
+
+    # Byte identity: tracing must not change any result, nor virtual time.
+    for tr, pl in zip(traced_merged, plain_merged):
+        for name in feeds:
+            assert tr.camera(name) == pl.camera(name)
+    for name in feeds:
+        assert (
+            traced_multi.sessions[name].last_context.clock.elapsed_ms
+            == plain_multi.sessions[name].last_context.clock.elapsed_ms
+        )
+
+    # Disabled mode is inert: no obs objects anywhere.
+    assert plain_multi.last_obs is None
+    assert all(s.last_obs is None for s in plain_multi.sessions.values())
+    assert all(r.obs is None for res in plain_merged for _, r in res)
+
+    obs = traced_multi.last_obs
+    trace_file = artifact_path("TRACE_scan_scheduler.json")
+    obs.tracer.export_chrome(trace_file)
+    chrome = obs.tracer.to_chrome_trace()
+    lane_names = [
+        e["args"]["name"]
+        for e in chrome["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    feed_lanes = [lane for lane in lane_names if lane in feeds]
+    assert len(feed_lanes) >= 4  # one parallel lane per feed in Perfetto
+
+    # explain() prices every candidate the planner considered.
+    report = traced_merged[0].camera("jackson").explain()
+    data = traced_merged[0].camera("jackson").obs
+    assert len(data.candidates) >= 2
+    assert sum(c.chosen for c in data.candidates) == 1
+    for candidate in data.candidates:
+        assert candidate.estimated_cost_ms is not None
+        assert candidate.profiled_cost_ms is not None
+        assert candidate.variant in report
+
+    # Decision accounting: the log covers 100% of gated + deferred frames.
+    per_feed_stats = traced_multi.last_scan_stats
+    gated = sum(s["leaf_frames_gated"] for s in per_feed_stats.values())
+    deferred = sum(s["frames_deferred"] for s in per_feed_stats.values())
+    assert gated > 0
+    assert obs.decisions.count("frame-gated") == gated
+    assert obs.decisions.count("frame-deferred") == deferred
+
+    wall_plain = min(plain_walls)
+    wall_traced = min(traced_walls)
+    overhead_pct = (wall_plain / max(wall_traced, 1e-9) - 1.0) * 100.0
+    _emit_json(
+        "tracing_overhead",
+        {
+            "feeds": len(feeds),
+            "spans_recorded": len(obs.tracer.spans()),
+            "feed_lanes": feed_lanes,
+            "decisions_gated": gated,
+            "decisions_deferred": deferred,
+            "wall_clock_disabled_s": round(wall_plain, 3),
+            "wall_clock_traced_s": round(wall_traced, 3),
+            "disabled_vs_traced_pct": round(overhead_pct, 2),
+            "trace_artifact": trace_file,
+        },
+    )
+    # The gate: disabled-mode wall clock within 3% of the traced floor
+    # (plus a 50ms absolute cushion for sub-second CI-scale runs).
+    assert wall_plain <= wall_traced * 1.03 + 0.05, (
+        f"enable_tracing=False path regressed: {wall_plain:.3f}s vs "
+        f"{wall_traced:.3f}s traced ({overhead_pct:+.1f}%)"
+    )

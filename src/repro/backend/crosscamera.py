@@ -164,9 +164,15 @@ class ReidMatcher:
     #: Virtual cost per (track, gallery identity) similarity comparison.
     MATCH_PER_PAIR_MS = 0.02
 
-    def __init__(self, config: Optional[ReidConfig] = None, clock: Optional[SimClock] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ReidConfig] = None,
+        clock: Optional[SimClock] = None,
+        obs=None,
+    ) -> None:
         self.config = config or ReidConfig(enabled=True)
         self.clock = clock
+        self.obs = obs
 
     # -- assignment strategies ---------------------------------------------------
     def _assign_hungarian(self, sims: np.ndarray) -> List[Tuple[int, int]]:
@@ -205,6 +211,7 @@ class ReidMatcher:
         classes: List[str] = []                # one class per identity
         for camera, profiles in links.profiles.items():
             pairs: List[Tuple[int, int]] = []
+            sims = raw = None
             if profiles and centroids:
                 if self.clock is not None:
                     self.clock.charge(
@@ -214,6 +221,10 @@ class ReidMatcher:
                 sims = FeatureVectorModel.similarity_matrix(
                     [p.embedding for p in profiles], centroids
                 )
+                if self.obs is not None:
+                    # Pre-mask similarities disambiguate *why* a track went
+                    # unmatched (class mismatch vs genuinely below threshold).
+                    raw = sims.copy()
                 # An identity only ever holds one object class; mismatched
                 # classes are pushed below any admissible threshold.
                 for i, profile in enumerate(profiles):
@@ -228,6 +239,8 @@ class ReidMatcher:
             for i, profile in enumerate(profiles):
                 j = matched.get(i)
                 if j is None:
+                    if self.obs is not None:
+                        self._note_unmatched(profile, i, sims, raw)
                     gid = len(centroids)
                     centroids.append(profile.embedding)
                     sums.append(np.asarray(profile.embedding, dtype=float).copy())
@@ -241,6 +254,32 @@ class ReidMatcher:
                     centroids[j] = sums[j] / norm if norm > 0 else sums[j]
                 links.identities[profile.key] = gid
         return links
+
+    def _note_unmatched(self, profile: TrackProfile, i: int, sims, raw) -> None:
+        """Record why a track founded a new identity instead of matching."""
+        if raw is None:
+            reason, best = "empty-gallery", None
+        else:
+            raw_best = float(raw[i].max())
+            masked_best = float(sims[i].max())
+            best = raw_best
+            if raw_best < self.config.threshold:
+                reason = "below-threshold"
+            elif masked_best < self.config.threshold:
+                reason = "class-mismatch"
+            else:
+                # Its best gallery identity cleared the threshold but was
+                # won by a same-camera sibling in the one-to-one assignment.
+                reason = "identity-contended"
+        attrs = {} if best is None else {"best_similarity": round(best, 4)}
+        self.obs.decisions.record(
+            "reid-unmatched",
+            reason,
+            subject=f"{profile.camera}:{profile.track_id}",
+            camera=profile.camera,
+            track_id=profile.track_id,
+            **attrs,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -534,6 +573,7 @@ def build_track_profiles(
     config: ReidConfig,
     model,
     clock: Optional[SimClock] = None,
+    obs=None,
 ) -> List[TrackProfile]:
     """Profile every track of one finished execution context.
 
@@ -554,23 +594,57 @@ def build_track_profiles(
     cached = ctx.intrinsic_track_values(
         config.embedding_property, exclude_frames=ctx.seeded_frames
     )
+    seeded_only: set = set()
+    if obs is not None and ctx.seeded_frames:
+        # Tracks whose only cached intrinsic was computed on an
+        # interpolation-seeded frame: the cache is bypassed and the real
+        # source re-embedded — worth a decision record.
+        seeded_only = set(ctx.intrinsic_track_values(config.embedding_property)) - set(cached)
     sources = ctx.track_sources()
     ambiguous = ctx.ambiguous_track_ids()
     kept: List[Tuple[int, Detection, int]] = []  # (track_id, source, first frame)
     misses: List[Detection] = []
     for track_id in sorted(sources):
         if track_id in ambiguous:
+            if obs is not None:
+                obs.decisions.record(
+                    "reid-excluded",
+                    "ambiguous-track-id",
+                    subject=f"{camera}:{track_id}",
+                    camera=camera,
+                    track_id=track_id,
+                )
             continue
         detection = sources[track_id]
         first = ctx.track_first_seen(track_id)
         if first is None:
             first = detection.frame_id
-        if detection.frame_id - first + 1 < config.min_track_frames:
+        observed = detection.frame_id - first + 1
+        if observed < config.min_track_frames:
+            if obs is not None:
+                obs.decisions.record(
+                    "reid-excluded",
+                    "below-min-track-frames",
+                    subject=f"{camera}:{track_id}",
+                    camera=camera,
+                    track_id=track_id,
+                    observed=observed,
+                    required=config.min_track_frames,
+                )
             continue
         kept.append((track_id, detection, first))
         if track_id in cached:
             ctx.count_reuse(config.embedding_property)
         else:
+            if obs is not None and track_id in seeded_only:
+                obs.decisions.record(
+                    "reid-embedding-recomputed",
+                    "seeded-frame-provenance",
+                    frame_id=detection.frame_id,
+                    subject=f"{camera}:{track_id}",
+                    camera=camera,
+                    track_id=track_id,
+                )
             misses.append(detection)
     embeddings = dict(cached)
     if misses:

@@ -61,6 +61,7 @@ class Executor:
         video: SyntheticVideo,
         planner: Planner,
         ensure_events: bool = False,
+        obs: Optional[Any] = None,
     ) -> QueryStream:
         """Compile any query (including higher-order compositions) to a stream.
 
@@ -76,21 +77,21 @@ class Executor:
             min_gap, max_gap = query.gap_window_frames(video.fps)
             return TemporalStream(
                 query.query_name,
-                self.compile(query.first, video, planner),
-                self.compile(query.second, video, planner),
+                self.compile(query.first, video, planner, obs=obs),
+                self.compile(query.second, video, planner, obs=obs),
                 min_gap_frames=min_gap,
                 max_gap_frames=max_gap,
                 limit=limit,
             )
         if isinstance(query, DurationQuery):
-            base = PlanStream(planner.plan(query, video), self, gated=gated)
+            base = PlanStream(planner.plan(query, video, obs=obs), self, gated=gated)
             return DurationStream(
                 base,
                 required_frames=query.required_duration_frames(video.fps),
                 max_gap=query.max_gap_frames,
                 limit=limit,
             )
-        stream = PlanStream(planner.plan(query, video), self, gated=gated, limit=limit)
+        stream = PlanStream(planner.plan(query, video, obs=obs), self, gated=gated, limit=limit)
         if ensure_events:
             stream.ensure_event_stream()
         return stream
@@ -131,7 +132,12 @@ class Executor:
 
     # ---------------------------------------------------------------- streams --
     def execute_streams(
-        self, streams: Sequence[QueryStream], video: SyntheticVideo, ctx: ExecutionContext
+        self,
+        streams: Sequence[QueryStream],
+        video: SyntheticVideo,
+        ctx: ExecutionContext,
+        obs: Optional[Any] = None,
+        candidate_reports: Optional[Dict[str, List[Any]]] = None,
     ) -> List[QueryResult]:
         """Advance all streams through one adaptive scan, then finalize."""
         if not streams:
@@ -142,16 +148,22 @@ class Executor:
             gating=self.config.enable_scan_gating,
             early_exit=self.config.enable_early_exit,
             stride=self.config.stride(),
+            obs=obs,
         )
         ctx.scan_stats = scheduler.stats
+        if obs is not None:
+            ctx.obs = obs
         leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
         reader = VideoReader(video, batch_size=self.config.batch_size, clock=ctx.clock)
         start_snapshot = ctx.clock.snapshot()
 
-        for frame in reader:
-            if not scheduler.step(frame):
-                break
-        scheduler.drain()
+        if obs is not None:
+            with obs.tracer.span(
+                "scan", clock=ctx.clock, video=video.spec.name, streams=len(streams)
+            ):
+                self._scan(reader, scheduler)
+        else:
+            self._scan(reader, scheduler)
 
         total = ctx.clock.since(start_snapshot)
         for leaf in leaves:
@@ -159,7 +171,45 @@ class Executor:
             leaf.result.cost_breakdown = dict(ctx.clock.breakdown())
             leaf.result.reuse_hits = ctx.reuse_stats.total_hits
             self._finalize_aggregates(leaf.plan.analysis, leaf.result, video)
-        return [stream.finalize(video, ctx) for stream in streams]
+        results = [stream.finalize(video, ctx) for stream in streams]
+        if obs is not None:
+            self._attach_explain(results, scheduler, ctx, obs, candidate_reports or {})
+        return results
+
+    @staticmethod
+    def _scan(reader: VideoReader, scheduler: ScanScheduler) -> None:
+        """The frame loop: identical with and without tracing."""
+        for frame in reader:
+            if not scheduler.step(frame):
+                break
+        scheduler.drain()
+
+    @staticmethod
+    def _attach_explain(
+        results: Sequence[QueryResult],
+        scheduler: ScanScheduler,
+        ctx: ExecutionContext,
+        obs: Any,
+        candidate_reports: Dict[str, List[Any]],
+    ) -> None:
+        """Hang an ``ExplainData`` payload off each result (tracing mode)."""
+        from repro.obs.explain import ExplainData, mark_chosen
+
+        for result in results:
+            reports = mark_chosen(
+                candidate_reports.get(result.query_name, []), result.plan_variant
+            )
+            result.obs = ExplainData(
+                query_name=result.query_name,
+                plan_variant=result.plan_variant,
+                candidates=reports,
+                scan_stats=scheduler.stats.as_dict(),
+                cost_breakdown=dict(ctx.clock.breakdown()),
+                model_calls=dict(ctx.clock.calls),
+                total_ms=result.total_ms,
+                decisions=obs.decisions,
+                tracer=obs.tracer,
+            )
 
     # ---------------------------------------------------------------- queries --
     def execute(
@@ -179,6 +229,7 @@ class Executor:
         ctx: ExecutionContext,
         planner: Planner,
         ensure_events: bool = False,
+        obs: Optional[Any] = None,
     ) -> List[QueryResult]:
         """Execute a mixed batch of queries in exactly one video scan."""
         # Let the planner's cost model see the whole batch: frame filters
@@ -186,10 +237,13 @@ class Executor:
         # pricing must reflect that sharing (gate-aware cost model).
         planner.begin_batch(queries)
         streams = [
-            self.compile(query, video, planner, ensure_events=ensure_events)
+            self.compile(query, video, planner, ensure_events=ensure_events, obs=obs)
             for query in queries
         ]
-        return self.execute_streams(streams, video, ctx)
+        reports = getattr(planner, "last_candidate_reports", None)
+        return self.execute_streams(
+            streams, video, ctx, obs=obs, candidate_reports=reports
+        )
 
     # ------------------------------------------------------------------- sink --
     def _sink(

@@ -37,7 +37,7 @@ from repro.backend.operators import (
     VObjFilterOp,
 )
 from repro.backend.plan import QueryPlan
-from repro.common.config import AccuracyTarget, ReidConfig, StrideConfig
+from repro.common.config import AccuracyTarget, ObsConfig, ReidConfig, StrideConfig
 from repro.common.errors import PlanError
 from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
 from repro.frontend.query import Query
@@ -116,6 +116,14 @@ class PlannerConfig:
     #: Clock-skew tolerance between feeds: cross-camera gap windows widen by
     #: this much and near-contiguous per-camera segments stitch together.
     max_clock_skew_s: float = 0.5
+    #: Engine-wide observability (:mod:`repro.obs`): span tracing with dual
+    #: wall-clock/virtual timestamps, a labeled metrics registry, the
+    #: decision log, and ``QueryResult.explain()``.  Off = zero
+    #: instrumentation objects are created and results are byte-identical.
+    enable_tracing: bool = False
+    #: Bound on retained decision records when tracing is on (aggregate
+    #: counts stay exact past the bound).
+    obs_max_decision_records: int = 4096
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
@@ -138,6 +146,13 @@ class PlannerConfig:
             stable_frames=self.stride_stable_frames,
         )
 
+    def obs(self) -> "ObsConfig":
+        """The observability knobs as an ObsConfig."""
+        return ObsConfig(
+            enabled=self.enable_tracing,
+            max_decision_records=self.obs_max_decision_records,
+        )
+
 
 class Planner:
     """Builds, optimizes, and selects operator DAGs for queries."""
@@ -145,6 +160,11 @@ class Planner:
     def __init__(self, zoo: ModelZoo, config: Optional[PlannerConfig] = None) -> None:
         self.zoo = zoo
         self.config = config or PlannerConfig()
+        #: query name -> CandidateReport list for the last planned batch
+        #: (estimated/profiled costs and the chosen variant), consumed by
+        #: ``QueryResult.explain()``.  Populated on every :meth:`plan` exit
+        #: path, including cache hits and unprofiled single-candidate plans.
+        self.last_candidate_reports: Dict[str, List] = {}
         #: (query class name, video name, batch signature) -> chosen variant.
         self._variant_cache: Dict[Tuple, str] = {}
         #: filter model name -> number of queries in the current batch whose
@@ -186,6 +206,7 @@ class Planner:
         for query in queries:
             visit(query)
         self._batch_filter_counts = counts
+        self.last_candidate_reports = {}
 
     # ------------------------------------------------------------------ costs --
     def _model_cost(self, model_name: Optional[str]) -> float:
@@ -403,11 +424,18 @@ class Planner:
         return candidates
 
     # ------------------------------------------------------------- plan selection --
-    def plan(self, query: Query, video=None) -> QueryPlan:
+    def plan(self, query: Query, video=None, obs=None) -> QueryPlan:
         """Plan a basic or spatial query, profiling candidates when possible."""
+        if obs is None:
+            return self._plan(query, video, None)
+        with obs.tracer.span("plan", query=query.query_name):
+            return self._plan(query, video, obs)
+
+    def _plan(self, query: Query, video, obs) -> QueryPlan:
         analysis = analyze_query(query)
         candidates = self.candidate_plans(analysis)
         if len(candidates) == 1 or not self.config.profile_plans or video is None:
+            self._record_candidates(analysis.query.query_name, candidates)
             return candidates[0]
 
         # Gate-aware pricing makes selection batch-dependent: the same query
@@ -422,11 +450,27 @@ class Planner:
             wanted = self._variant_cache[cache_key]
             for candidate in candidates:
                 if candidate.variant == wanted:
+                    self._record_candidates(analysis.query.query_name, candidates)
                     return candidate
 
-        chosen = self._profile_and_select(candidates, video)
+        chosen = self._profile_and_select(candidates, video, obs=obs)
         self._variant_cache[cache_key] = chosen.variant
+        self._record_candidates(analysis.query.query_name, candidates)
         return chosen
+
+    def _record_candidates(self, query_name: str, candidates: List[QueryPlan]) -> None:
+        """Snapshot candidate costs for ``explain()`` (cheap; always on)."""
+        from repro.obs.explain import CandidateReport
+
+        self.last_candidate_reports[query_name] = [
+            CandidateReport(
+                variant=c.variant,
+                estimated_cost_ms=c.estimated_cost_ms,
+                profiled_cost_ms=c.profiled_cost_ms,
+                estimated_f1=c.estimated_f1,
+            )
+            for c in candidates
+        ]
 
     def _gate_shared_filter_ms(self, candidate: QueryPlan, breakdown: Dict[str, float]) -> float:
         """Measured filter ms the batch gate amortises away for this plan.
@@ -462,7 +506,7 @@ class Planner:
         saved_fraction = cfg.stride_stable_fraction * (1.0 - 1.0 / max(cfg.max_stride, 1))
         return detector_ms * saved_fraction
 
-    def _profile_and_select(self, candidates: List[QueryPlan], video) -> QueryPlan:
+    def _profile_and_select(self, candidates: List[QueryPlan], video, obs=None) -> QueryPlan:
         """Profile candidates on the canary clip and pick the cheapest accurate one.
 
         Measured canary cost lands in ``profiled_cost_ms``; the selection
@@ -484,7 +528,11 @@ class Planner:
 
         def run(candidate: QueryPlan):
             ctx = ExecutionContext(canary, self.zoo, reuse_enabled=self.config.enable_reuse)
-            result = Executor(profiling_config).execute_plan(candidate, canary, ctx)
+            if obs is not None:
+                with obs.tracer.span("profile", clock=ctx.clock, variant=candidate.variant):
+                    result = Executor(profiling_config).execute_plan(candidate, canary, ctx)
+            else:
+                result = Executor(profiling_config).execute_plan(candidate, canary, ctx)
             breakdown = dict(ctx.clock.by_account)
             candidate.profiled_cost_ms = ctx.clock.elapsed_ms
             discount = self._gate_shared_filter_ms(candidate, breakdown)

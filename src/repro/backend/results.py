@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.backend.crosscamera import CrossCameraLinks, GlobalEvent, GlobalTimeline
+    from repro.obs.explain import ExplainData
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,23 @@ class QueryResult:
     #: Number of property computations avoided by intrinsic reuse.
     reuse_hits: int = 0
     plan_variant: str = "base"
+    #: EXPLAIN ANALYZE payload attached by the executor when tracing is
+    #: enabled (``PlannerConfig.enable_tracing``).  Excluded from equality
+    #: and repr so traced and untraced results compare byte-identical.
+    obs: Optional["ExplainData"] = field(default=None, compare=False, repr=False)
+
+    def explain(self) -> str:
+        """EXPLAIN ANALYZE-style report: planner candidates (estimated vs.
+        profiled vs. actual cost), gate hit rates, the stride timeline,
+        detector-budget consumption, and the decision summary."""
+        if self.obs is None:
+            raise ValueError(
+                "no observability data on this result — execute with "
+                "PlannerConfig(enable_tracing=True) to populate explain()"
+            )
+        from repro.obs.explain import render_explain
+
+        return render_explain(self.obs)
 
     @property
     def num_matches(self) -> int:

@@ -334,6 +334,9 @@ class ExecutionContext:
         #: the most recent scan over this context (frames gated, streams
         #: retired, early-exit frame); None before any scan ran.
         self.scan_stats: Optional[Any] = None
+        #: Observability bundle (:class:`repro.obs.Obs`) set by the executor
+        #: when tracing is enabled; None = zero-instrumentation fast path.
+        self.obs: Optional[Any] = None
 
         #: Last *real* (tracker-observed) detection per track id, plus the
         #: frame each track was first seen on.  These survive frame-cache
@@ -382,7 +385,19 @@ class ExecutionContext:
     def detect(self, model_name: str, frame: Frame) -> List[Detection]:
         per_frame = self._detections.setdefault(frame.frame_id, {})
         if model_name not in per_frame:
-            per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
+            obs = self.obs
+            if obs is not None:
+                with obs.tracer.span(
+                    "model-invocation",
+                    clock=self.clock,
+                    model=model_name,
+                    frame=frame.frame_id,
+                    kind="detector",
+                ):
+                    per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
+                obs.metrics.inc("detector_invocations", model=model_name)
+            else:
+                per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
         return per_frame[model_name]
 
     def track(self, tracker_name: str, detector_name: str, frame: Frame, detections: Sequence[Detection]) -> List[Detection]:
@@ -392,7 +407,19 @@ class ExecutionContext:
             if key not in self._trackers:
                 self._trackers[key] = self.zoo.get(tracker_name, fresh=True)
             tracker = self._trackers[key]
-            per_frame[key] = tracker.update(list(detections), self.clock)
+            obs = self.obs
+            if obs is not None:
+                with obs.tracer.span(
+                    "model-invocation",
+                    clock=self.clock,
+                    model=tracker_name,
+                    frame=frame.frame_id,
+                    kind="tracker",
+                ):
+                    per_frame[key] = tracker.update(list(detections), self.clock)
+                obs.metrics.inc("tracker_invocations", model=tracker_name)
+            else:
+                per_frame[key] = tracker.update(list(detections), self.clock)
             for det in per_frame[key]:
                 if det.track_id is not None:
                     self._track_first_seen.setdefault(det.track_id, frame.frame_id)

@@ -44,61 +44,132 @@ in the operator pipelines and the execution context's shared caches.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.backend.operators import OPERATOR_OVERHEAD_MS
 from repro.backend.runtime import ExecutionContext
-from repro.backend.streaming import PlanStream, QueryStream
+from repro.backend.streaming import PlanStream, QueryStream, _stream_query_name
 from repro.common.config import StrideConfig
 from repro.models.base import Detection
 from repro.models.framefilters import evaluate_frame_filter
+from repro.obs.metrics import MetricsRegistry, RegistryField
 from repro.videosim.video import Frame
 
 #: A (tracker model, detector model) pair, the unit of stride validation.
 TrackedPair = Tuple[str, str]
 
 
-@dataclass
 class ScanStats:
-    """Counters describing what the scheduler skipped, gated, and retired."""
+    """Counters describing what the scheduler skipped, gated, and retired.
+
+    Every counter lives in a :class:`~repro.obs.metrics.MetricsRegistry` as
+    an unlabeled gauge (the :class:`~repro.obs.metrics.RegistryField`
+    descriptors keep plain ``stats.field += 1`` semantics), so the registry
+    snapshot is the source of truth and :meth:`as_dict` is a compatibility
+    view over it.  The keyword constructor, equality, and the
+    ``as_dict``/``from_dict`` round trip match the former dataclass exactly.
+    """
 
     #: Frames the scan actually decoded and stepped through.
-    frames_scanned: int = 0
+    frames_scanned = RegistryField(0)
     #: (leaf, frame) pipeline executions on detector-observed frames.
-    leaf_frames_processed: int = 0
+    leaf_frames_processed = RegistryField(0)
     #: (leaf, frame) pairs skipped because the leaf's gate rejected the frame.
-    leaf_frames_gated: int = 0
+    leaf_frames_gated = RegistryField(0)
     #: Frame-filter model invocations performed by the gate.
-    gate_evaluations: int = 0
+    gate_evaluations = RegistryField(0)
     #: Gate decisions served from the per-frame memo instead of re-running
     #: the filter model (the cross-stream sharing the per-plan pipelines lost).
-    gate_cache_hits: int = 0
+    gate_cache_hits = RegistryField(0)
     #: Streams retired before the end of the scan (answer fully determined).
-    streams_retired: int = 0
+    streams_retired = RegistryField(0)
     #: Frame id at which the whole scan stopped early (None = ran to the end).
-    early_exit_frame: Optional[int] = None
+    early_exit_frame = RegistryField(None)
     #: Frames provisionally skipped by the stride sampler (deferred).
-    frames_deferred: int = 0
+    frames_deferred = RegistryField(0)
     #: Deferred frames whose results were filled by track interpolation.
-    frames_interpolated: int = 0
+    frames_interpolated = RegistryField(0)
     #: Deferred frames re-scanned in full after a prediction disagreement.
-    frames_rescanned: int = 0
+    frames_rescanned = RegistryField(0)
     #: (leaf, frame) pipeline executions over interpolation-seeded caches.
-    leaf_frames_interpolated: int = 0
+    leaf_frames_interpolated = RegistryField(0)
     #: Times some stream's stride doubled / was reset to 1.
-    stride_raises: int = 0
-    stride_resets: int = 0
+    stride_raises = RegistryField(0)
+    stride_resets = RegistryField(0)
     #: Highest stride any stream reached during the scan.
-    peak_stride: int = 1
+    peak_stride = RegistryField(1)
+
+    _FIELDS: Tuple[str, ...] = (
+        "frames_scanned",
+        "leaf_frames_processed",
+        "leaf_frames_gated",
+        "gate_evaluations",
+        "gate_cache_hits",
+        "streams_retired",
+        "early_exit_frame",
+        "frames_deferred",
+        "frames_interpolated",
+        "frames_rescanned",
+        "leaf_frames_interpolated",
+        "stride_raises",
+        "stride_resets",
+        "peak_stride",
+    )
+
+    def __init__(
+        self,
+        frames_scanned: int = 0,
+        leaf_frames_processed: int = 0,
+        leaf_frames_gated: int = 0,
+        gate_evaluations: int = 0,
+        gate_cache_hits: int = 0,
+        streams_retired: int = 0,
+        early_exit_frame: Optional[int] = None,
+        frames_deferred: int = 0,
+        frames_interpolated: int = 0,
+        frames_rescanned: int = 0,
+        leaf_frames_interpolated: int = 0,
+        stride_raises: int = 0,
+        stride_resets: int = 0,
+        peak_stride: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        # One registry per stats object: concurrent feeds each own theirs.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.frames_scanned = frames_scanned
+        self.leaf_frames_processed = leaf_frames_processed
+        self.leaf_frames_gated = leaf_frames_gated
+        self.gate_evaluations = gate_evaluations
+        self.gate_cache_hits = gate_cache_hits
+        self.streams_retired = streams_retired
+        self.early_exit_frame = early_exit_frame
+        self.frames_deferred = frames_deferred
+        self.frames_interpolated = frames_interpolated
+        self.frames_rescanned = frames_rescanned
+        self.leaf_frames_interpolated = leaf_frames_interpolated
+        self.stride_raises = stride_raises
+        self.stride_resets = stride_resets
+        self.peak_stride = peak_stride
 
     def as_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        return {name: getattr(self, name) for name in self._FIELDS}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScanStats":
         """Rebuild stats from :meth:`as_dict` output (round-trip safe)."""
         return cls(**dict(data))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScanStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    __hash__ = None  # mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={getattr(self, name)!r}" for name in self._FIELDS)
+        return f"ScanStats({inner})"
 
 
 class FrameGate:
@@ -112,9 +183,10 @@ class FrameGate:
     matching the in-pipeline semantics for any single plan.
     """
 
-    def __init__(self, ctx: ExecutionContext, stats: ScanStats) -> None:
+    def __init__(self, ctx: ExecutionContext, stats: ScanStats, obs: Optional[Any] = None) -> None:
         self.ctx = ctx
         self.stats = stats
+        self.obs = obs
         #: frame_id -> {filter model name -> keep decision}.
         self._decisions: Dict[int, Dict[str, bool]] = {}
 
@@ -132,7 +204,20 @@ class FrameGate:
                 # (and canary profiling) is unchanged by the hoist.
                 self.ctx.clock.charge("operator_overhead", OPERATOR_OVERHEAD_MS)
                 model = self.ctx.model(op.model_name)
-                decision = evaluate_frame_filter(model, frame, self.ctx.clock)
+                if self.obs is not None:
+                    virt_start = self.ctx.clock.snapshot()
+                    with self.obs.tracer.span(
+                        "frame-gate-eval",
+                        clock=self.ctx.clock,
+                        model=op.model_name,
+                        frame=frame.frame_id,
+                    ):
+                        decision = evaluate_frame_filter(model, frame, self.ctx.clock)
+                    self.obs.metrics.observe(
+                        "gate_eval_ms", self.ctx.clock.since(virt_start), model=op.model_name
+                    )
+                else:
+                    decision = evaluate_frame_filter(model, frame, self.ctx.clock)
                 per_frame[op.model_name] = decision
                 self.stats.gate_evaluations += 1
             else:
@@ -140,6 +225,19 @@ class FrameGate:
             if not decision:
                 return False
         return True
+
+    def rejecting_model(self, leaf: PlanStream, frame_id: int) -> Optional[str]:
+        """The filter model that rejected this frame for the leaf, if any.
+
+        Pure memo lookup (observability only): ``admits`` short-circuits on
+        the first rejecting filter in plan order, so the first memoised
+        False among the leaf's filters is the one that fired.
+        """
+        per_frame = self._decisions.get(frame_id, {})
+        for op in leaf.gate_filters:
+            if per_frame.get(op.model_name) is False:
+                return op.model_name
+        return None
 
     def release_frame(self, frame_id: int) -> None:
         """Drop the frame's memoised decisions (O(1))."""
@@ -217,12 +315,14 @@ class ScanScheduler:
         gating: bool = True,
         early_exit: bool = True,
         stride: Optional[StrideConfig] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.streams = list(streams)
         self.ctx = ctx
         self.early_exit = early_exit
+        self.obs = obs
         self.stats = ScanStats()
-        self.gate: Optional[FrameGate] = FrameGate(ctx, self.stats) if gating else None
+        self.gate: Optional[FrameGate] = FrameGate(ctx, self.stats, obs=obs) if gating else None
         self.stride_cfg: Optional[StrideConfig] = (
             stride if stride is not None and stride.enabled and stride.max_stride > 1 else None
         )
@@ -262,6 +362,10 @@ class ScanScheduler:
                 # resolved (interpolated or re-scanned) at the next sample.
                 self._pending.append(frame)
                 self.stats.frames_deferred += 1
+                if self.obs is not None:
+                    self.obs.decisions.record(
+                        "frame-deferred", "stride-skip", frame_id=frame.frame_id, stride=stride
+                    )
                 self._release_through(
                     min(frame.frame_id - self.lookback, self._pending[0].frame_id - 1)
                 )
@@ -280,13 +384,26 @@ class ScanScheduler:
         if verdicts is not None:
             for stream in self._active:
                 controller = self._controllers[id(stream)]
+                before = controller.stride
                 controller.observe(verdicts.get(id(stream), False), self.stats)
+                if self.obs is not None:
+                    if controller.stride != before:
+                        raised = controller.stride > before
+                        self.obs.decisions.record(
+                            "stride-raised" if raised else "stride-reset",
+                            "stable-streak" if raised else "prediction-mismatch",
+                            frame_id=frame.frame_id,
+                            subject=_stream_query_name(stream),
+                            stride_from=before,
+                            stride_to=controller.stride,
+                        )
+                    self.obs.metrics.observe("stride_level", controller.stride)
 
         self._release_through(frame.frame_id - self.lookback)
         if self.early_exit:
             self._retire_done()
             if not self._active:
-                self.stats.early_exit_frame = frame.frame_id
+                self._note_early_exit(frame.frame_id)
                 return False
         return True
 
@@ -299,7 +416,7 @@ class ScanScheduler:
         full, which is exactly what a stride-1 scan would have done.
         """
         if self._pending:
-            self._rescan_gap()
+            self._rescan_gap(reason="scan-ended-mid-gap")
         if self._last_frame_id is not None:
             self._release_through(self._last_frame_id)
 
@@ -312,7 +429,7 @@ class ScanScheduler:
         for leaf in leaves:
             if self.gate is not None and not self.gate.admits(leaf, frame):
                 leaf.skip_frame(frame)
-                self.stats.leaf_frames_gated += 1
+                self._note_gated(leaf, frame)
             else:
                 leaf.process_frame(frame, ctx)
                 self.stats.leaf_frames_processed += 1
@@ -474,7 +591,7 @@ class ScanScheduler:
                 # matches on frames its own filter would have rejected.
                 if self.gate is not None and not self.gate.admits(leaf, gap_frame):
                     leaf.skip_frame(gap_frame)
-                    self.stats.leaf_frames_gated += 1
+                    self._note_gated(leaf, gap_frame)
                     continue
                 leaf.process_frame(gap_frame, ctx)
                 leaf.mark_interpolated(gap_frame.frame_id)
@@ -485,11 +602,18 @@ class ScanScheduler:
             for stream in self._active:
                 stream.observe_frame(gap_frame.frame_id)
             self.stats.frames_interpolated += 1
+            if self.obs is not None:
+                self.obs.decisions.record(
+                    "frame-interpolated",
+                    "predictions-validated",
+                    frame_id=gap_frame.frame_id,
+                    endpoint=frame.frame_id,
+                )
             if not self._check_continue(gap_frame):
                 return False
         return True
 
-    def _rescan_gap(self) -> bool:
+    def _rescan_gap(self, reason: str = "validation-failed") -> bool:
         """Run the full pipeline over the deferred frames (disagreement path).
 
         Frames are replayed in order *before* the sampled frame's pipelines
@@ -504,6 +628,10 @@ class ScanScheduler:
         for gap_frame in pending:
             self._process_frame(gap_frame)
             self.stats.frames_rescanned += 1
+            if self.obs is not None:
+                self.obs.decisions.record(
+                    "frame-rescanned", reason, frame_id=gap_frame.frame_id
+                )
             if not self._check_continue(gap_frame):
                 return False
         return True
@@ -514,9 +642,30 @@ class ScanScheduler:
             return True
         self._retire_done()
         if not self._active:
-            self.stats.early_exit_frame = frame.frame_id
+            self._note_early_exit(frame.frame_id)
             return False
         return True
+
+    # -- decision-log hooks (tracing mode only; counters always update) ----------
+    def _note_gated(self, leaf: PlanStream, frame: Frame) -> None:
+        """Count a gated (leaf, frame) pair; log why when tracing."""
+        self.stats.leaf_frames_gated += 1
+        if self.obs is not None:
+            model = self.gate.rejecting_model(leaf, frame.frame_id) if self.gate else None
+            self.obs.decisions.record(
+                "frame-gated",
+                "frame-filter-rejected",
+                frame_id=frame.frame_id,
+                subject=leaf.query_name,
+                model=model,
+            )
+
+    def _note_early_exit(self, frame_id: int) -> None:
+        self.stats.early_exit_frame = frame_id
+        if self.obs is not None:
+            self.obs.decisions.record(
+                "scan-early-exit", "all-streams-done", frame_id=frame_id
+            )
 
     # -- internals --------------------------------------------------------------
     def _release_through(self, horizon: int) -> None:
@@ -531,6 +680,16 @@ class ScanScheduler:
         still_active = [s for s in self._active if not s.done()]
         if len(still_active) != len(self._active):
             self.stats.streams_retired += len(self._active) - len(still_active)
+            if self.obs is not None:
+                remaining = {id(s) for s in still_active}
+                for stream in self._active:
+                    if id(stream) not in remaining:
+                        self.obs.decisions.record(
+                            "stream-retired",
+                            "answer-determined",
+                            frame_id=self._last_frame_id,
+                            subject=_stream_query_name(stream),
+                        )
             self._active = still_active
             self._active_leaves = [
                 leaf for stream in still_active for leaf in stream.plan_streams()

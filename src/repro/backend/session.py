@@ -49,6 +49,8 @@ from repro.frontend.higher_order import TemporalQuery
 from repro.frontend.query import Query
 from repro.frontend.registry import get_library_zoo
 from repro.models.zoo import ModelZoo
+from repro.obs.core import Obs
+from repro.obs.trace import Tracer
 from repro.videosim.video import SyntheticVideo
 
 
@@ -71,6 +73,9 @@ class QuerySession:
         #: The MultiCameraSession behind the most recent execute_over call
         #: (exposes per-feed cost breakdowns); None after single-video runs.
         self.last_multi: Optional["MultiCameraSession"] = None
+        #: Observability bundle (tracer/metrics/decision log) of the most
+        #: recent execution; None unless ``enable_tracing`` was on.
+        self.last_obs: Optional[Obs] = None
 
     # -- planning ---------------------------------------------------------------
     def plan(self, query: Query) -> QueryPlan:
@@ -104,6 +109,7 @@ class QuerySession:
         queries: Sequence[Query],
         clock: Optional[SimClock] = None,
         ensure_events: bool = False,
+        obs: Optional[Obs] = None,
     ) -> List[QueryResult]:
         """Execute several queries in a single pass with shared computation.
 
@@ -113,12 +119,27 @@ class QuerySession:
         computed exactly once per (model, frame) across the whole batch.
         With ``ensure_events`` even bare basic queries group their matches
         into events during the scan (cross-camera linking needs them).
+        ``obs`` lets a multi-camera session share one observability bundle
+        across its feeds; standalone runs build their own when
+        ``enable_tracing`` is on.
         """
+        own_obs = False
+        if obs is None and self.config.enable_tracing:
+            obs = Obs.from_config(self.config.obs())
+            own_obs = obs is not None
+        self.last_obs = obs
         ctx = self._new_context(clock)
         self.last_context = ctx
         self.last_multi = None
+        queries = list(queries)
+        if own_obs:
+            with obs.tracer.span("execute-batch", clock=ctx.clock, queries=len(queries)):
+                return self.executor.execute_queries(
+                    queries, self.video, ctx, self.planner,
+                    ensure_events=ensure_events, obs=obs,
+                )
         return self.executor.execute_queries(
-            list(queries), self.video, ctx, self.planner, ensure_events=ensure_events
+            queries, self.video, ctx, self.planner, ensure_events=ensure_events, obs=obs
         )
 
     def execute_over(
@@ -156,6 +177,7 @@ class QuerySession:
         # reachable (per-feed costs) and stop pointing at a stale context.
         self.last_multi = multi
         self.last_context = None
+        self.last_obs = multi.last_obs
         return results
 
     # -- reporting ---------------------------------------------------------------
@@ -171,6 +193,18 @@ class QuerySession:
         if self.last_context is None or self.last_context.scan_stats is None:
             return None
         return self.last_context.scan_stats.as_dict()
+
+    @property
+    def last_trace(self) -> Optional[Tracer]:
+        """The span tracer of the most recent traced execution (else None).
+
+        After :meth:`execute_over` this is the multi-camera session's shared
+        tracer, so per-feed scans show up as parallel lanes under one
+        ``execute-batch`` root.
+        """
+        if self.last_obs is None:
+            return None
+        return self.last_obs.tracer
 
     def cost_breakdown(self) -> Dict[str, float]:
         """Virtual-ms breakdown (by model/operator) of the last execution.
@@ -244,6 +278,9 @@ class MultiCameraSession:
         #: The identity links of the most recent execution (None until a
         #: re-id-enabled run happens).
         self.last_links: Optional[CrossCameraLinks] = None
+        #: Observability bundle shared by every feed of the most recent
+        #: execution; None unless ``enable_tracing`` was on.
+        self.last_obs: Optional[Obs] = None
 
     @property
     def cameras(self) -> List[str]:
@@ -276,20 +313,29 @@ class MultiCameraSession:
         """
         queries = list(queries)
         reid_enabled = self.config.enable_cross_camera_reid
+        obs = Obs.from_config(self.config.obs()) if self.config.enable_tracing else None
+        self.last_obs = obs
+        if obs is not None:
+            # The batch root is wall-clock only: there is no single virtual
+            # clock spanning the feeds (each feed owns its own SimClock).
+            with obs.tracer.span(
+                "execute-batch", feeds=len(self.sessions), queries=len(queries)
+            ) as root:
+                return self._execute_batch(queries, reid_enabled, obs, root)
+        return self._execute_batch(queries, reid_enabled, None, None)
+
+    def _execute_batch(self, queries, reid_enabled, obs, root):
         merged = [MultiCameraResult(query_name=q.query_name) for q in queries]
         names = list(self.sessions)
         workers = self._worker_count()
         if workers <= 1 or len(names) <= 1:
             per_feed = [
-                self.sessions[name].execute_many(queries, ensure_events=reid_enabled)
-                for name in names
+                self._run_feed(name, queries, reid_enabled, obs, root) for name in names
             ]
         else:
             with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="camera-feed") as pool:
                 futures = [
-                    pool.submit(
-                        self.sessions[name].execute_many, queries, ensure_events=reid_enabled
-                    )
+                    pool.submit(self._run_feed, name, queries, reid_enabled, obs, root)
                     for name in names
                 ]
                 per_feed = [future.result() for future in futures]
@@ -303,6 +349,19 @@ class MultiCameraSession:
                 holder.links = links
                 holder.timeline = timeline
         return merged
+
+    def _run_feed(self, name, queries, reid_enabled, obs, parent):
+        """One feed's batch execution, traced as its own parallel lane.
+
+        The explicit ``parent`` matters: on the thread pool the tracer's
+        thread-local span stack is empty, so without it the feed spans
+        would float unparented instead of nesting under ``execute-batch``.
+        """
+        session = self.sessions[name]
+        if obs is None:
+            return session.execute_many(queries, ensure_events=reid_enabled)
+        with obs.tracer.span("feed-scan", parent=parent, lane=name, feed=name):
+            return session.execute_many(queries, ensure_events=reid_enabled, obs=obs)
 
     # -- cross-camera re-identification -----------------------------------------
     def link_tracks(self) -> CrossCameraLinks:
@@ -318,6 +377,13 @@ class MultiCameraSession:
         which are fresh per execution).
         """
         self.link_clock.reset()
+        obs = self.last_obs
+        if obs is not None:
+            with obs.tracer.span("reid-link", clock=self.link_clock, feeds=len(self.sessions)):
+                return self._link_tracks(obs)
+        return self._link_tracks(None)
+
+    def _link_tracks(self, obs) -> CrossCameraLinks:
         reid_cfg = self.config.reid()
         model = self.zoo.get(reid_cfg.reid_model)
         profiles: Dict[str, List[TrackProfile]] = {}
@@ -328,9 +394,9 @@ class MultiCameraSession:
                     f"link_tracks needs a prior execution, but feed {name!r} has not run yet"
                 )
             profiles[name] = build_track_profiles(
-                name, ctx, reid_cfg, model, clock=self.link_clock
+                name, ctx, reid_cfg, model, clock=self.link_clock, obs=obs
             )
-        matcher = ReidMatcher(reid_cfg, clock=self.link_clock)
+        matcher = ReidMatcher(reid_cfg, clock=self.link_clock, obs=obs)
         links = matcher.link(profiles)
         self.last_links = links
         return links
@@ -360,6 +426,18 @@ class MultiCameraSession:
             first.timeline,
             sequence,
         )
+
+    @property
+    def last_scan_stats(self) -> Optional[Dict[str, Optional[Dict[str, object]]]]:
+        """Per-feed scan-scheduler counters for the most recent execution.
+
+        Keyed by feed alias (mirroring ``QuerySession.last_scan_stats``, one
+        dict per feed); None before any feed has executed.
+        """
+        stats = {name: session.last_scan_stats for name, session in self.sessions.items()}
+        if all(value is None for value in stats.values()):
+            return None
+        return stats
 
     def cost_breakdown(self) -> Dict[str, Dict[str, float]]:
         """Per-camera virtual-ms breakdown of the last execution.

@@ -112,6 +112,34 @@ class ReidConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs (:mod:`repro.obs`).
+
+    When enabled, one :class:`~repro.obs.core.Obs` bundle (span tracer,
+    metrics registry, decision log) is threaded through the whole
+    execution — session, planner, scheduler, model invocations, re-id —
+    and every :class:`~repro.backend.results.QueryResult` carries an
+    ``explain()`` payload.  Off by default: spans only *snapshot* the
+    virtual clock (never charge it), so results are byte-identical with
+    tracing on or off, and the disabled path costs one ``is not None``
+    check per hook.
+    """
+
+    enabled: bool = False
+    #: Oldest decision records are evicted past this bound; aggregate
+    #: (action, reason) counts remain exact regardless.
+    max_decision_records: int = 4096
+    #: Spans beyond this bound are timed but not retained or exported.
+    max_spans: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.max_decision_records < 1:
+            raise ValueError("max_decision_records must be >= 1")
+        if self.max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+
+
+@dataclass(frozen=True)
 class AccuracyTarget:
     """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
 

@@ -25,12 +25,14 @@ class RuntimeReport:
         self.rows.append(values)
 
     def columns(self) -> List[str]:
-        cols: List[str] = []
+        # An insertion-ordered dict used as a set keeps first-appearance
+        # column order with O(1) membership (the old list scan was
+        # O(rows x cols) per key, quadratic for wide per-candidate tables).
+        cols: Dict[str, None] = {}
         for row in self.rows:
             for key in row:
-                if key not in cols:
-                    cols.append(key)
-        return cols
+                cols[key] = None
+        return list(cols)
 
     def to_text(self) -> str:
         """Render as an aligned plain-text table (what the benches print)."""
@@ -52,6 +54,10 @@ class RuntimeReport:
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):  # bool is an int/float subtype: test first
+        return "true" if value else "false"
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)

@@ -1,0 +1,28 @@
+"""Engine-wide observability: span tracing, metrics, decisions, explain.
+
+Enable via ``PlannerConfig(enable_tracing=True)``; everything here is
+inert (and results byte-identical) when the knob is off.  See
+docs/observability.md.
+"""
+
+from repro.obs.core import Obs
+from repro.obs.decisions import Decision, DecisionLog
+from repro.obs.explain import CandidateReport, ExplainData, render_explain
+from repro.obs.metrics import HistogramStat, MetricsRegistry, RegistryField, format_key
+from repro.obs.trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "Obs",
+    "Decision",
+    "DecisionLog",
+    "CandidateReport",
+    "ExplainData",
+    "render_explain",
+    "HistogramStat",
+    "MetricsRegistry",
+    "RegistryField",
+    "format_key",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

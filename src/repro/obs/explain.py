@@ -1,0 +1,173 @@
+"""EXPLAIN ANALYZE-style reports for executed queries.
+
+``QueryResult.explain()`` renders an ``ExplainData`` payload the executor
+attaches when tracing is enabled: the planner's candidate table
+(estimated vs. canary-profiled vs. actual cost), gate hit rates, the
+stride timeline, detector-budget consumption, and the decision summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.runtime import RuntimeReport
+from repro.obs.decisions import DecisionLog
+from repro.obs.trace import Tracer
+
+
+@dataclass
+class CandidateReport:
+    """One planner candidate's costs: model estimate, canary profile, and
+    (for the chosen plan) the actual full-scan cost."""
+
+    variant: str
+    estimated_cost_ms: Optional[float] = None
+    profiled_cost_ms: Optional[float] = None
+    estimated_f1: Optional[float] = None
+    chosen: bool = False
+
+
+@dataclass
+class ExplainData:
+    """Everything ``explain()`` joins for one query result."""
+
+    query_name: str
+    plan_variant: str
+    candidates: List[CandidateReport] = field(default_factory=list)
+    scan_stats: Dict[str, Any] = field(default_factory=dict)
+    cost_breakdown: Dict[str, float] = field(default_factory=dict)
+    model_calls: Dict[str, int] = field(default_factory=dict)
+    total_ms: float = 0.0
+    decisions: Optional[DecisionLog] = None
+    tracer: Optional[Tracer] = None
+
+
+def mark_chosen(
+    candidates: List[CandidateReport], variant: str
+) -> List[CandidateReport]:
+    """Fresh copies with ``chosen`` set on the matching variant."""
+    return [replace(c, chosen=(c.variant == variant)) for c in candidates]
+
+
+def _candidate_table(data: ExplainData) -> str:
+    report = RuntimeReport(
+        f"Planner candidates for {data.query_name}", unit="virtual ms"
+    )
+    for candidate in data.candidates:
+        report.add_row(
+            variant=candidate.variant,
+            chosen=candidate.chosen,
+            estimated_ms=candidate.estimated_cost_ms,
+            profiled_ms=candidate.profiled_cost_ms,
+            actual_ms=data.total_ms if candidate.chosen else None,
+            estimated_f1=candidate.estimated_f1,
+        )
+    if not data.candidates:
+        report.add_row(
+            variant=data.plan_variant,
+            chosen=True,
+            estimated_ms=None,
+            profiled_ms=None,
+            actual_ms=data.total_ms,
+            estimated_f1=None,
+        )
+    return report.to_text()
+
+
+def _gate_section(stats: Dict[str, Any]) -> List[str]:
+    evaluations = stats.get("gate_evaluations", 0) or 0
+    cache_hits = stats.get("gate_cache_hits", 0) or 0
+    gated = stats.get("leaf_frames_gated", 0) or 0
+    processed = stats.get("leaf_frames_processed", 0) or 0
+    lookups = evaluations + cache_hits
+    lines = ["Frame gate:"]
+    if lookups == 0:
+        lines.append("  (gating inactive — no frame filters evaluated)")
+        return lines
+    hit_rate = cache_hits / lookups
+    reject_rate = gated / max(gated + processed, 1)
+    lines.append(
+        f"  {evaluations} evaluations, {cache_hits} cache hits "
+        f"({hit_rate:.1%} hit rate)"
+    )
+    lines.append(
+        f"  {gated} leaf frames gated vs {processed} processed "
+        f"({reject_rate:.1%} rejected)"
+    )
+    return lines
+
+
+def _stride_section(data: ExplainData) -> List[str]:
+    stats = data.scan_stats
+    lines = [
+        "Stride timeline:",
+        (
+            f"  raises={stats.get('stride_raises', 0)} "
+            f"resets={stats.get('stride_resets', 0)} "
+            f"peak={stats.get('peak_stride', 1)} "
+            f"deferred={stats.get('frames_deferred', 0)} "
+            f"interpolated={stats.get('frames_interpolated', 0)} "
+            f"rescanned={stats.get('frames_rescanned', 0)}"
+        ),
+    ]
+    if data.decisions is not None:
+        moves = [
+            d
+            for d in data.decisions.records()
+            if d.action in ("stride-raised", "stride-reset")
+        ]
+        for move in moves:
+            attrs = dict(move.attrs)
+            lines.append(
+                f"  frame {move.frame_id}: {move.action} "
+                f"{attrs.get('stride_from', '?')} -> {attrs.get('stride_to', '?')} "
+                f"({move.reason})"
+            )
+    return lines
+
+
+def _budget_section(data: ExplainData) -> List[str]:
+    lines = ["Detector budget:"]
+    if not data.model_calls:
+        lines.append("  (no model invocations)")
+        return lines
+    for name in sorted(data.model_calls):
+        cost = data.cost_breakdown.get(name, 0.0)
+        lines.append(
+            f"  {name}: {data.model_calls[name]} calls, {cost:.2f} virtual ms"
+        )
+    return lines
+
+
+def _decision_section(decisions: Optional[DecisionLog]) -> List[str]:
+    lines = ["Decisions:"]
+    if decisions is None:
+        lines.append("  (no decision log)")
+        return lines
+    summary = decisions.summary()
+    if not summary:
+        lines.append("  (none recorded)")
+        return lines
+    for action in sorted(summary):
+        for reason, count in sorted(summary[action].items()):
+            lines.append(f"  {action}/{reason}: {count}")
+    return lines
+
+
+def render_explain(data: ExplainData) -> str:
+    """The full EXPLAIN ANALYZE report as text."""
+    lines = [
+        f"EXPLAIN ANALYZE {data.query_name} (plan variant: {data.plan_variant})",
+        f"  actual cost: {data.total_ms:.2f} virtual ms",
+        "",
+        _candidate_table(data),
+    ]
+    lines.extend(_gate_section(data.scan_stats))
+    lines.append("")
+    lines.extend(_stride_section(data))
+    lines.append("")
+    lines.extend(_budget_section(data))
+    lines.append("")
+    lines.extend(_decision_section(data.decisions))
+    return "\n".join(lines)

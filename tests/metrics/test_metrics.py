@@ -74,3 +74,19 @@ class TestRuntimeReport:
         report.add_row(a=1)
         report.add_row(b=2, a=3)
         assert report.columns() == ["a", "b"]
+
+    def test_columns_is_linear_in_cells(self):
+        # 60 rows x 40 distinct columns: first-appearance order, no O(n^2) scan
+        report = RuntimeReport("wide")
+        for i in range(60):
+            report.add_row(**{f"c{j}": i for j in range(40)})
+        cols = report.columns()
+        assert cols == [f"c{j}" for j in range(40)]
+
+    def test_fmt_renders_none_and_bools_explicitly(self):
+        report = RuntimeReport("t")
+        report.add_row(chosen=True, cost=None, other=False)
+        text = report.to_text()
+        assert "true" in text and "false" in text
+        assert "-" in text  # None renders as a dash, not "None"
+        assert "None" not in text

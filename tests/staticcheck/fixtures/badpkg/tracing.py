@@ -1,0 +1,14 @@
+"""Span usage that leaks spans instead of closing them."""
+
+from __future__ import annotations
+
+
+def leaky_scan(tracer, frames):
+    span = tracer.span("leaky-scan")  # SC601: never entered, never closed
+    for frame_id in frames:
+        pass
+    return span
+
+
+def manual_enter(tracer):
+    tracer.span("manual-scan").__enter__()  # SC601 + SC602: unbalanced entry

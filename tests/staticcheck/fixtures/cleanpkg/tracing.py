@@ -1,0 +1,16 @@
+"""Span usage that follows the with-statement discipline."""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+
+def traced_scan(tracer, clock, frames):
+    with tracer.span("scan", clock=clock, frames=len(frames)):
+        for frame_id in frames:
+            with tracer.span("frame", clock=clock, frame=frame_id):
+                pass
+
+
+def traced_via_stack(self_obs, stack: ExitStack):
+    stack.enter_context(self_obs.tracer.span("stacked-scan"))

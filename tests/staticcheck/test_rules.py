@@ -156,3 +156,29 @@ def test_knob_hygiene_coverage_and_docs(badpkg, tmp_path):
 def test_knob_hygiene_subchecks_skipped_without_env(badpkg):
     ids = ids_of(findings_for(badpkg, "knob-hygiene"))
     assert ids == {"SC501"}
+
+
+# -- trace-hygiene (SC6xx) --------------------------------------------------------
+
+
+def test_trace_hygiene_clean_with_statements(cleanpkg):
+    # with-statement spans and stack.enter_context(...) are both fine
+    assert findings_for(cleanpkg, "trace-hygiene") == []
+
+
+def test_trace_hygiene_span_outside_with(badpkg):
+    keys = keys_of(findings_for(badpkg, "trace-hygiene"))
+    assert "SC601::tracing.py::span-no-with.leaky-scan" in keys
+
+
+def test_trace_hygiene_manual_enter(badpkg):
+    keys = keys_of(findings_for(badpkg, "trace-hygiene"))
+    # the manual __enter__ call is doubly wrong: the span call itself is
+    # outside a with-statement (SC601) AND entered by hand (SC602)
+    assert "SC601::tracing.py::span-no-with.manual-scan" in keys
+    assert "SC602::tracing.py::span-manual-enter.manual-scan" in keys
+
+
+def test_trace_hygiene_severity(badpkg):
+    findings = findings_for(badpkg, "trace-hygiene")
+    assert findings and all(f.severity == "error" for f in findings)
