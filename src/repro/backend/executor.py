@@ -42,6 +42,8 @@ from repro.backend.streaming import (
     QueryStream,
     TemporalStream,
 )
+from repro.common.errors import ExecutionError, FeedFailedError
+from repro.faults import FaultManager, ScanCheckpointer
 from repro.frontend.expr import Environment, MISSING, TRUE
 from repro.frontend.higher_order import DurationQuery, TemporalQuery
 from repro.frontend.query import Query
@@ -142,6 +144,7 @@ class Executor:
         """Advance all streams through one adaptive scan, then finalize."""
         if not streams:
             return []
+        faults, checkpointer = self._build_fault_layer(video, ctx, obs)
         scheduler = ScanScheduler(
             streams,
             ctx,
@@ -149,22 +152,27 @@ class Executor:
             early_exit=self.config.enable_early_exit,
             stride=self.config.stride(),
             obs=obs,
+            faults=faults,
         )
         ctx.scan_stats = scheduler.stats
         if obs is not None:
             ctx.obs = obs
-        leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
-        reader = VideoReader(video, batch_size=self.config.batch_size, clock=ctx.clock)
+        if faults is not None:
+            faults.stats = scheduler.stats
         start_snapshot = ctx.clock.snapshot()
 
         if obs is not None:
             with obs.tracer.span(
                 "scan", clock=ctx.clock, video=video.spec.name, streams=len(streams)
             ):
-                self._scan(reader, scheduler)
+                scheduler = self._scan(video, scheduler, ctx, faults, checkpointer)
         else:
-            self._scan(reader, scheduler)
+            scheduler = self._scan(video, scheduler, ctx, faults, checkpointer)
 
+        # A checkpoint resume replaces the scheduler (and with it the stream
+        # objects); finalize over the streams that actually finished the scan.
+        streams = scheduler.streams
+        leaves = [leaf for stream in streams for leaf in stream.plan_streams()]
         total = ctx.clock.since(start_snapshot)
         for leaf in leaves:
             leaf.result.total_ms = total / max(len(leaves), 1)
@@ -176,13 +184,74 @@ class Executor:
             self._attach_explain(results, scheduler, ctx, obs, candidate_reports or {})
         return results
 
-    @staticmethod
-    def _scan(reader: VideoReader, scheduler: ScanScheduler) -> None:
-        """The frame loop: identical with and without tracing."""
-        for frame in reader:
-            if not scheduler.step(frame):
-                break
-        scheduler.drain()
+    def _build_fault_layer(self, video: SyntheticVideo, ctx: ExecutionContext, obs: Optional[Any]):
+        """The feed's fault manager + checkpointer, or ``(None, None)``.
+
+        Built per scan so breaker/injector state never leaks across videos
+        or interleaves across the concurrent feeds of a multi-camera session
+        (each feed's scan owns its own manager, keyed by the feed name).
+        """
+        fault_cfg = self.config.faults()
+        if not fault_cfg.enabled:
+            return None, None
+        faults = FaultManager(fault_cfg, ctx.clock, feed=video.spec.name, obs=obs)
+        ctx.faults = faults
+        checkpointer = None
+        if fault_cfg.checkpoint_interval > 0:
+            checkpointer = ScanCheckpointer(
+                fault_cfg.checkpoint_interval, fault_cfg.max_resumes
+            )
+        return faults, checkpointer
+
+    def _scan(
+        self,
+        video: SyntheticVideo,
+        scheduler: ScanScheduler,
+        ctx: ExecutionContext,
+        faults: Optional[Any] = None,
+        checkpointer: Optional[ScanCheckpointer] = None,
+    ) -> ScanScheduler:
+        """The frame loop, wrapped in crash recovery when checkpointing is on.
+
+        A mid-scan :class:`ExecutionError` (the fault layer's injected crash,
+        or any unexpected abort) resumes from the last checkpoint — up to
+        ``max_resumes`` times — by restoring the scheduler/context/clock and
+        restarting the reader at the checkpointed frame.  A
+        :class:`FeedFailedError` is *not* recoverable here: the feed itself
+        died, and the multi-camera session isolates it instead.  Returns the
+        scheduler that finished the scan (a restored copy after any resume).
+        """
+        start = 0
+        hook = faults.reader_hook if faults is not None else None
+        while True:
+            if checkpointer is not None:
+                # Anchor a checkpoint at loop entry (frame 0; after a resume
+                # the capture guard makes this a no-op), then capture *after*
+                # each stepped frame.  A checkpoint taken after the reader
+                # has charged its own resume frame would re-charge that read
+                # on every resume, breaking timeline identity.
+                checkpointer.maybe_capture(scheduler, start)
+            reader = VideoReader(
+                video,
+                batch_size=self.config.batch_size,
+                clock=ctx.clock,
+                start=start,
+                frame_hook=hook,
+            )
+            try:
+                for frame in reader:
+                    if not scheduler.step(frame):
+                        break
+                    if checkpointer is not None:
+                        checkpointer.maybe_capture(scheduler, frame.frame_id + 1)
+                scheduler.drain()
+                return scheduler
+            except FeedFailedError:
+                raise
+            except ExecutionError:
+                if checkpointer is None or not checkpointer.can_resume:
+                    raise
+                scheduler, start = checkpointer.restore()
 
     @staticmethod
     def _attach_explain(

@@ -37,8 +37,8 @@ from repro.backend.operators import (
     VObjFilterOp,
 )
 from repro.backend.plan import QueryPlan
-from repro.common.config import AccuracyTarget, ObsConfig, ReidConfig, StrideConfig
-from repro.common.errors import PlanError
+from repro.common.config import AccuracyTarget, FaultConfig, ObsConfig, ReidConfig, StrideConfig
+from repro.common.errors import PlanError, ReproError
 from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
 from repro.frontend.query import Query
 from repro.frontend.vobj import VObj
@@ -124,6 +124,15 @@ class PlannerConfig:
     #: Bound on retained decision records when tracing is on (aggregate
     #: counts stay exact past the bound).
     obs_max_decision_records: int = 4096
+    #: Fault-tolerant execution (:mod:`repro.faults`): deterministic fault
+    #: injection, retried model invocations with clock-charged backoff,
+    #: per-model timeout budgets and circuit breakers, graceful frame
+    #: degradation, and scan checkpoint/resume.  Off = no fault objects are
+    #: created and results are byte-identical.
+    enable_fault_tolerance: bool = False
+    #: Fault model + resilience tuning (rates, retries, breaker, checkpoint
+    #: interval); its ``enabled`` field is overridden by the switch above.
+    fault_config: FaultConfig = FaultConfig()
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
@@ -152,6 +161,10 @@ class PlannerConfig:
             enabled=self.enable_tracing,
             max_decision_records=self.obs_max_decision_records,
         )
+
+    def faults(self) -> "FaultConfig":
+        """The fault-tolerance knobs as a FaultConfig."""
+        return replace(self.fault_config, enabled=self.enable_fault_tolerance)
 
 
 class Planner:
@@ -194,7 +207,9 @@ class Planner:
                 return
             try:
                 analysis = analyze_query(query)
-            except Exception:  # pragma: no cover - defensive
+            except ReproError:  # pragma: no cover - defensive
+                # An unanalyzable query only skews filter multiplicities
+                # here; planning it will raise the real error later.
                 return
             seen: set = set()
             for info in analysis.variables:
@@ -220,7 +235,7 @@ class Planner:
             return 0.05
         try:
             model = self.zoo.get(model_name)
-        except Exception:  # pragma: no cover - defensive
+        except ReproError:  # pragma: no cover - defensive
             return 1.0
         profile = getattr(model, "cost_profile", None)
         if profile is None:
@@ -524,7 +539,12 @@ class Planner:
 
         # Profile the *unsampled* cost: the canary run must not itself stride-
         # sample, or the analytic sampling discount below would double-count.
-        profiling_config = replace(self.config, enable_stride_sampling=False)
+        # Fault injection is also disabled: candidate selection must be
+        # driven by the plans' intrinsic costs, not by which canary frames a
+        # fault schedule happened to hit.
+        profiling_config = replace(
+            self.config, enable_stride_sampling=False, enable_fault_tolerance=False
+        )
 
         def run(candidate: QueryPlan):
             ctx = ExecutionContext(canary, self.zoo, reuse_enabled=self.config.enable_reuse)

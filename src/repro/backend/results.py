@@ -132,6 +132,23 @@ class QueryResult:
         return tracks
 
 
+@dataclass(frozen=True)
+class FeedFailure:
+    """Structured status of one camera feed that died during an execution.
+
+    Attached to :attr:`MultiCameraResult.feed_failures` when per-feed
+    isolation (``enable_fault_tolerance``) lets the surviving feeds finish;
+    the failed feed simply has no entry in ``per_camera``.
+    """
+
+    #: The feed's alias in the session (the ``per_camera`` key it would have had).
+    feed: str
+    #: Human-readable failure description (the underlying error message).
+    error: str
+    #: Frame the feed died at, when known (injected feed death records it).
+    frame_id: Optional[int] = None
+
+
 @dataclass
 class MultiCameraResult:
     """One query's results sharded across several camera feeds.
@@ -143,6 +160,11 @@ class MultiCameraResult:
     query_name: str
     #: camera name -> that feed's QueryResult (insertion-ordered).
     per_camera: Dict[str, QueryResult] = field(default_factory=dict)
+    #: camera name -> structured failure status for feeds that died mid-scan
+    #: under fault-tolerant execution (empty when every feed survived; never
+    #: populated with fault tolerance off — a dead feed then aborts the batch
+    #: with :class:`~repro.common.errors.ExecutionError`).
+    feed_failures: Dict[str, FeedFailure] = field(default_factory=dict)
     #: Cross-camera identity links (set by the session when
     #: ``enable_cross_camera_reid`` is on; None otherwise).
     links: Optional["CrossCameraLinks"] = None

@@ -154,7 +154,12 @@ class VObjState:
 
         if spec.is_model_backed:
             model = self.context.property_model(spec.model)
-            value = model.predict(self.detection, self.frame, self.context.clock)
+            value = self.context.invoke_model(
+                spec.model,
+                self.frame.frame_id,
+                lambda: model.predict(self.detection, self.frame, self.context.clock),
+                kind="property",
+            )
         else:
             inputs = [self.get(dep) for dep in spec.inputs]
             self.context.charge_python(spec.name)
@@ -181,7 +186,13 @@ class VObjState:
         self.context.charge_python(spec.name)
         if spec.is_model_backed:
             model = self.context.property_model(spec.model)
-            return model.predict(histories[0] if len(histories) == 1 else histories, clock=self.context.clock)
+            args = histories[0] if len(histories) == 1 else histories
+            return self.context.invoke_model(
+                spec.model,
+                self.frame.frame_id,
+                lambda: model.predict(args, clock=self.context.clock),
+                kind="property",
+            )
         args = histories[0] if len(histories) == 1 else histories
         return spec.func(self, args) if len(histories) == 1 else spec.func(self, *histories)
 
@@ -337,6 +348,10 @@ class ExecutionContext:
         #: Observability bundle (:class:`repro.obs.Obs`) set by the executor
         #: when tracing is enabled; None = zero-instrumentation fast path.
         self.obs: Optional[Any] = None
+        #: Fault layer (:class:`repro.faults.FaultManager`) set by the
+        #: executor when fault tolerance is enabled; None = every model
+        #: invocation runs bare (the default, byte-identical fast path).
+        self.faults: Optional[Any] = None
 
         #: Last *real* (tracker-observed) detection per track id, plus the
         #: frame each track was first seen on.  These survive frame-cache
@@ -375,6 +390,20 @@ class ExecutionContext:
     def property_model(self, name: str) -> Any:
         return self.model(name)
 
+    def invoke_model(self, model_name: str, frame_id: int, fn, kind: str = "model"):
+        """Run one model invocation, through the fault layer when present.
+
+        With fault tolerance off this is a plain call; with it on, the
+        :class:`~repro.faults.FaultManager` adds injection, bounded retries
+        with clock-charged backoff, timeout budgets, and circuit breaking.
+        A permanently failed invocation surfaces as
+        :class:`~repro.common.errors.TransientModelError`, which the scan
+        scheduler turns into frame degradation.
+        """
+        if self.faults is None:
+            return fn()
+        return self.faults.invoke(model_name, frame_id, fn, kind=kind)
+
     def charge_python(self, prop_name: str) -> None:
         self.clock.charge(f"python:{prop_name}", PYTHON_PROPERTY_MS)
 
@@ -385,6 +414,14 @@ class ExecutionContext:
     def detect(self, model_name: str, frame: Frame) -> List[Detection]:
         per_frame = self._detections.setdefault(frame.frame_id, {})
         if model_name not in per_frame:
+            def run() -> List[Detection]:
+                return self.invoke_model(
+                    model_name,
+                    frame.frame_id,
+                    lambda: self.model(model_name).detect(frame, self.clock),
+                    kind="detector",
+                )
+
             obs = self.obs
             if obs is not None:
                 with obs.tracer.span(
@@ -394,10 +431,10 @@ class ExecutionContext:
                     frame=frame.frame_id,
                     kind="detector",
                 ):
-                    per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
+                    per_frame[model_name] = run()
                 obs.metrics.inc("detector_invocations", model=model_name)
             else:
-                per_frame[model_name] = self.model(model_name).detect(frame, self.clock)
+                per_frame[model_name] = run()
         return per_frame[model_name]
 
     def track(self, tracker_name: str, detector_name: str, frame: Frame, detections: Sequence[Detection]) -> List[Detection]:
@@ -462,7 +499,12 @@ class ExecutionContext:
         key = (model_name, subject, object_)
         if key not in per_frame:
             model = self.model(model_name)
-            preds = model.predict([subject], [object_], frame, self.clock)
+            preds = self.invoke_model(
+                model_name,
+                frame.frame_id,
+                lambda: model.predict([subject], [object_], frame, self.clock),
+                kind="interaction",
+            )
             per_frame[key] = tuple(p.kind for p in preds)
         return per_frame[key]
 
@@ -550,6 +592,46 @@ class ExecutionContext:
 
     def relation_state(self, relation_type: type, subject: VObjState, object_: VObjState, frame: Frame) -> RelationState:
         return RelationState(relation_type, subject, object_, frame, self)
+
+    # -- scan checkpointing -------------------------------------------------------------
+    #: The mutable per-scan state a checkpoint must capture.  Everything
+    #: else on the context is either configuration (video, zoo, flags) or
+    #: restored separately (the clock) / deliberately persistent (obs,
+    #: faults).
+    _CHECKPOINT_ATTRS: Tuple[str, ...] = (
+        "reuse_stats",
+        "seeded_frames",
+        "_track_sources",
+        "_track_first_seen",
+        "_track_id_pairs",
+        "_detections",
+        "_tracked",
+        "_trackers",
+        "_models",
+        "_track_states",
+        "_vobj_states",
+        "_interactions",
+        "_scene_states",
+    )
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Live references to the mutable per-scan state (no copies).
+
+        The :class:`~repro.faults.checkpoint.ScanCheckpointer` deep-copies
+        this dict together with the scheduler in one pass, so objects shared
+        between the two (trackers, track states) stay shared in the snapshot.
+        """
+        return {name: getattr(self, name) for name in self._CHECKPOINT_ATTRS}
+
+    def restore_checkpoint_state(self, state: Dict[str, Any]) -> None:
+        """Install a checkpointed state *in place*, preserving identity.
+
+        ``state`` must be a private copy (the checkpointer re-copies its
+        snapshot on every restore); references to this context held by
+        sessions, VObj states, or readers all stay valid.
+        """
+        for name in self._CHECKPOINT_ATTRS:
+            setattr(self, name, state[name])
 
     # -- housekeeping -------------------------------------------------------------------
     def release_frame(self, frame_id: int) -> None:

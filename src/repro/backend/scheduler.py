@@ -51,6 +51,7 @@ from repro.backend.operators import OPERATOR_OVERHEAD_MS
 from repro.backend.runtime import ExecutionContext
 from repro.backend.streaming import PlanStream, QueryStream, _stream_query_name
 from repro.common.config import StrideConfig
+from repro.common.errors import ModelError
 from repro.models.base import Detection
 from repro.models.framefilters import evaluate_frame_filter
 from repro.obs.metrics import MetricsRegistry, RegistryField
@@ -99,6 +100,21 @@ class ScanStats:
     stride_resets = RegistryField(0)
     #: Highest stride any stream reached during the scan.
     peak_stride = RegistryField(1)
+    #: Frames where at least one leaf could not run its full pipeline due to
+    #: an injected fault (corrupted/dropped frame, or a model down past
+    #: retries / behind an open circuit) and was filled or skipped instead.
+    frames_degraded = RegistryField(0)
+    #: Model invocation attempts retried after a transient failure/timeout.
+    model_retries = RegistryField(0)
+    #: Invocations that failed for good (retries exhausted or circuit open).
+    model_failures = RegistryField(0)
+    #: Times some model's circuit breaker transitioned closed -> open.
+    circuit_opens = RegistryField(0)
+    #: Faults the injector actually fired during the scan (all kinds).
+    faults_injected = RegistryField(0)
+    #: Scan checkpoints captured / resumes performed from one.
+    checkpoints_taken = RegistryField(0)
+    scan_resumes = RegistryField(0)
 
     _FIELDS: Tuple[str, ...] = (
         "frames_scanned",
@@ -115,6 +131,13 @@ class ScanStats:
         "stride_raises",
         "stride_resets",
         "peak_stride",
+        "frames_degraded",
+        "model_retries",
+        "model_failures",
+        "circuit_opens",
+        "faults_injected",
+        "checkpoints_taken",
+        "scan_resumes",
     )
 
     def __init__(
@@ -133,6 +156,13 @@ class ScanStats:
         stride_raises: int = 0,
         stride_resets: int = 0,
         peak_stride: int = 1,
+        frames_degraded: int = 0,
+        model_retries: int = 0,
+        model_failures: int = 0,
+        circuit_opens: int = 0,
+        faults_injected: int = 0,
+        checkpoints_taken: int = 0,
+        scan_resumes: int = 0,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         # One registry per stats object: concurrent feeds each own theirs.
@@ -151,6 +181,13 @@ class ScanStats:
         self.stride_raises = stride_raises
         self.stride_resets = stride_resets
         self.peak_stride = peak_stride
+        self.frames_degraded = frames_degraded
+        self.model_retries = model_retries
+        self.model_failures = model_failures
+        self.circuit_opens = circuit_opens
+        self.faults_injected = faults_injected
+        self.checkpoints_taken = checkpoints_taken
+        self.scan_resumes = scan_resumes
 
     def as_dict(self) -> Dict[str, object]:
         return {name: getattr(self, name) for name in self._FIELDS}
@@ -203,7 +240,6 @@ class FrameGate:
                 # FrameFilterOp would have, so single-plan cost accounting
                 # (and canary profiling) is unchanged by the hoist.
                 self.ctx.clock.charge("operator_overhead", OPERATOR_OVERHEAD_MS)
-                model = self.ctx.model(op.model_name)
                 if self.obs is not None:
                     virt_start = self.ctx.clock.snapshot()
                     with self.obs.tracer.span(
@@ -212,12 +248,12 @@ class FrameGate:
                         model=op.model_name,
                         frame=frame.frame_id,
                     ):
-                        decision = evaluate_frame_filter(model, frame, self.ctx.clock)
+                        decision = self._evaluate(op.model_name, frame)
                     self.obs.metrics.observe(
                         "gate_eval_ms", self.ctx.clock.since(virt_start), model=op.model_name
                     )
                 else:
-                    decision = evaluate_frame_filter(model, frame, self.ctx.clock)
+                    decision = self._evaluate(op.model_name, frame)
                 per_frame[op.model_name] = decision
                 self.stats.gate_evaluations += 1
             else:
@@ -225,6 +261,26 @@ class FrameGate:
             if not decision:
                 return False
         return True
+
+    def _evaluate(self, model_name: str, frame: Frame) -> bool:
+        """Run one frame-filter model, through the fault layer when present.
+
+        An exhausted/open-circuit filter propagates a
+        :class:`~repro.common.errors.ModelError`; the scheduler fails
+        *closed* (treats the frame as rejected and marks it degraded), so a
+        faulty filter can never admit frames the fault-free scan would have
+        gated out.
+        """
+        model = self.ctx.model(model_name)
+        faults = getattr(self.ctx, "faults", None)
+        if faults is None:
+            return evaluate_frame_filter(model, frame, self.ctx.clock)
+        return faults.invoke(
+            model_name,
+            frame.frame_id,
+            lambda: evaluate_frame_filter(model, frame, self.ctx.clock),
+            kind="frame-filter",
+        )
 
     def rejecting_model(self, leaf: PlanStream, frame_id: int) -> Optional[str]:
         """The filter model that rejected this frame for the leaf, if any.
@@ -316,11 +372,13 @@ class ScanScheduler:
         early_exit: bool = True,
         stride: Optional[StrideConfig] = None,
         obs: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.streams = list(streams)
         self.ctx = ctx
         self.early_exit = early_exit
         self.obs = obs
+        self.faults = faults
         self.stats = ScanStats()
         self.gate: Optional[FrameGate] = FrameGate(ctx, self.stats, obs=obs) if gating else None
         self.stride_cfg: Optional[StrideConfig] = (
@@ -352,8 +410,20 @@ class ScanScheduler:
 
     def step(self, frame: Frame) -> bool:
         """Process one frame; returns False when the scan should stop."""
+        if self.faults is not None:
+            # Scan-level faults surface before the frame counts as scanned: a
+            # dead feed raises FeedFailedError (handled by per-feed isolation),
+            # a one-shot crash raises ExecutionError (handled by
+            # checkpoint/resume).
+            self.faults.check_feed_death(frame.frame_id)
+            self.faults.check_crash(frame.frame_id)
         self._last_frame_id = frame.frame_id
         self.stats.frames_scanned += 1
+
+        if self.faults is not None:
+            frame_fault = self.faults.frame_fault(frame.frame_id)
+            if frame_fault is not None:
+                return self._degrade_frame(frame, f"frame-{frame_fault}")
 
         if self.stride_cfg is not None:
             stride = self._batch_stride()
@@ -426,8 +496,11 @@ class ScanScheduler:
         ctx = self.ctx
         leaves = self._active_leaves
         frame_start = ctx.clock.snapshot()
+        degraded = 0
         for leaf in leaves:
-            if self.gate is not None and not self.gate.admits(leaf, frame):
+            if self.faults is not None:
+                degraded += self._run_leaf_resilient(leaf, frame)
+            elif self.gate is not None and not self.gate.admits(leaf, frame):
                 leaf.skip_frame(frame)
                 self._note_gated(leaf, frame)
             else:
@@ -438,7 +511,114 @@ class ScanScheduler:
             leaf.result.per_frame_ms.append(per_leaf_ms)
         for stream in self._active:
             stream.observe_frame(frame.frame_id)
+        if degraded:
+            self.stats.frames_degraded += 1
         self._last_processed = frame.frame_id
+
+    # -- fault degradation --------------------------------------------------------
+    def _run_leaf_resilient(self, leaf: PlanStream, frame: Frame) -> int:
+        """Gate + process one leaf, degrading on model faults; 1 if degraded."""
+        try:
+            if self.gate is not None and not self.gate.admits(leaf, frame):
+                leaf.skip_frame(frame)
+                self._note_gated(leaf, frame)
+                return 0
+            leaf.process_frame(frame, self.ctx)
+            self.stats.leaf_frames_processed += 1
+            return 0
+        except ModelError:
+            return 1 if self._degrade_leaf(leaf, frame, "model-unavailable") else 0
+
+    def _degrade_frame(self, frame: Frame, reason: str) -> bool:
+        """Handle a corrupted/dropped frame: fill from interpolation or skip.
+
+        The frame's detection payload is never trusted.  Tracked plans are
+        filled exactly like a stride gap — caches seeded with
+        track-extrapolated detections, ordinary pipelines run over them, the
+        frame labelled in ``Event.skipped_frames`` — untracked plans skip
+        the frame outright.  Mirrors :meth:`step`'s post-processing so
+        release/early-exit bookkeeping stays intact.
+        """
+        if self._pending and not self._rescan_gap(reason=reason):
+            # A faulty frame cannot validate a deferred gap; replay the gap
+            # in full first so groupers and trackers see frames in order.
+            return False
+        ctx = self.ctx
+        leaves = self._active_leaves
+        frame_start = ctx.clock.snapshot()
+        degraded = 0
+        for leaf in leaves:
+            degraded += 1 if self._degrade_leaf(leaf, frame, reason) else 0
+        per_leaf_ms = ctx.clock.since(frame_start) / max(len(leaves), 1)
+        for leaf in leaves:
+            leaf.result.per_frame_ms.append(per_leaf_ms)
+        for stream in self._active:
+            stream.observe_frame(frame.frame_id)
+        if degraded:
+            self.stats.frames_degraded += 1
+        # Deliberately not updating _last_processed: trackers did not advance
+        # on this frame, so stride validation keeps extrapolating from the
+        # last *real* frame.
+        self._release_through(frame.frame_id - self.lookback)
+        if self.early_exit:
+            self._retire_done()
+            if not self._active:
+                self._note_early_exit(frame.frame_id)
+                return False
+        return True
+
+    def _degrade_leaf(self, leaf: PlanStream, frame: Frame, reason: str) -> bool:
+        """Degrade one (leaf, frame): seed interpolated detections and re-run
+        the pipeline over them (cache hits make this idempotent — real
+        results computed before a mid-pipeline fault are never recomputed or
+        overwritten), falling back to skipping the frame when the plan is
+        untracked or the re-run still faults.  Returns True when the leaf's
+        frame was degraded (it always is; the bool keeps call sites uniform).
+        """
+        ctx = self.ctx
+        pairs = leaf.plan.tracked_detector_pairs()
+        mode = "skipped"
+        if pairs:
+            for pair in pairs:
+                tracker_name, detector_name = pair
+                tracker = ctx.peek_tracker(tracker_name, detector_name)
+                interpolated: List[Detection] = []
+                for track in tracker.active_tracks if tracker is not None else []:
+                    if track.last_detection is None:
+                        continue
+                    bbox = track.interpolate(frame.frame_id)
+                    interpolated.append(
+                        replace(track.last_detection, bbox=bbox, frame_id=frame.frame_id)
+                    )
+                ctx.seed_frame(frame.frame_id, detector_name, pair, interpolated)
+            try:
+                if self.gate is not None and not self.gate.admits(leaf, frame):
+                    # The gate's verdict is deterministic and content-free
+                    # (scene-level filter models): a rejection matches the
+                    # fault-free scan, so account it as gated, not degraded.
+                    leaf.skip_frame(frame)
+                    self._note_gated(leaf, frame)
+                    return False
+                leaf.process_frame(frame, ctx)
+                leaf.mark_interpolated(frame.frame_id)
+                mode = "interpolated"
+            except ModelError:
+                leaf.skip_frame(frame)
+        else:
+            leaf.skip_frame(frame)
+        self._note_degraded(leaf, frame, reason, mode)
+        return True
+
+    def _note_degraded(self, leaf: PlanStream, frame: Frame, reason: str, mode: str) -> None:
+        if self.obs is not None:
+            self.obs.decisions.record(
+                "frame-degraded",
+                reason,
+                frame_id=frame.frame_id,
+                subject=leaf.query_name,
+                mode=mode,
+            )
+            self.obs.metrics.inc("frames_degraded", mode=mode)
 
     # -- stride sampling ----------------------------------------------------------
     def _batch_stride(self) -> int:
@@ -474,7 +654,16 @@ class ScanScheduler:
             ok = True
             for pair in controller.pairs:
                 if pair not in match_maps:
-                    match_maps[pair] = self._validate_pair(pair, frame)
+                    if self.faults is not None:
+                        try:
+                            match_maps[pair] = self._validate_pair(pair, frame)
+                        except ModelError:
+                            # Probe hit a down model: abstain.  The gap is
+                            # then resolved by re-scan, where each frame
+                            # degrades (or recovers) individually.
+                            match_maps[pair] = None
+                    else:
+                        match_maps[pair] = self._validate_pair(pair, frame)
                 if match_maps[pair] is None:
                     ok = False
             verdicts[id(stream)] = ok

@@ -41,10 +41,10 @@ from repro.backend.crosscamera import (
 from repro.backend.executor import Executor
 from repro.backend.plan import QueryPlan
 from repro.backend.planner import Planner, PlannerConfig
-from repro.backend.results import MultiCameraResult, QueryResult
+from repro.backend.results import FeedFailure, MultiCameraResult, QueryResult
 from repro.backend.runtime import ExecutionContext
 from repro.common.clock import SimClock
-from repro.common.errors import ExecutionError, PlanError
+from repro.common.errors import ExecutionError, FeedFailedError, PlanError
 from repro.frontend.higher_order import TemporalQuery
 from repro.frontend.query import Query
 from repro.frontend.registry import get_library_zoo
@@ -281,6 +281,9 @@ class MultiCameraSession:
         #: Observability bundle shared by every feed of the most recent
         #: execution; None unless ``enable_tracing`` was on.
         self.last_obs: Optional[Obs] = None
+        #: Feed alias -> FeedFailure for feeds isolated in the most recent
+        #: execution (fault tolerance only; empty when every feed survived).
+        self.last_feed_failures: Dict[str, FeedFailure] = {}
 
     @property
     def cameras(self) -> List[str]:
@@ -328,20 +331,36 @@ class MultiCameraSession:
         merged = [MultiCameraResult(query_name=q.query_name) for q in queries]
         names = list(self.sessions)
         workers = self._worker_count()
+        # Settle *every* feed before deciding the batch's fate: a feed that
+        # fails must neither abandon its in-flight siblings nor discard the
+        # results the surviving feeds already produced.
+        outcomes: Dict[str, List[QueryResult]] = {}
+        failures: Dict[str, Exception] = {}
         if workers <= 1 or len(names) <= 1:
-            per_feed = [
-                self._run_feed(name, queries, reid_enabled, obs, root) for name in names
-            ]
+            for name in names:
+                try:
+                    outcomes[name] = self._run_feed(name, queries, reid_enabled, obs, root)
+                except Exception as exc:
+                    failures[name] = exc
         else:
             with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="camera-feed") as pool:
-                futures = [
-                    pool.submit(self._run_feed, name, queries, reid_enabled, obs, root)
+                futures = {
+                    name: pool.submit(self._run_feed, name, queries, reid_enabled, obs, root)
                     for name in names
-                ]
-                per_feed = [future.result() for future in futures]
-        for name, results in zip(names, per_feed):
-            for result, holder in zip(results, merged):
+                }
+                for name, future in futures.items():
+                    try:
+                        outcomes[name] = future.result()
+                    except Exception as exc:
+                        failures[name] = exc
+        self.last_feed_failures = self._settle_failures(names, failures, outcomes)
+        for name in names:
+            if name not in outcomes:
+                continue
+            for result, holder in zip(outcomes[name], merged):
                 holder.per_camera[name] = result
+        for holder in merged:
+            holder.feed_failures = dict(self.last_feed_failures)
         if reid_enabled:
             links = self.link_tracks()
             timeline = self.timeline()
@@ -349,6 +368,47 @@ class MultiCameraSession:
                 holder.links = links
                 holder.timeline = timeline
         return merged
+
+    def _settle_failures(
+        self,
+        names: Sequence[str],
+        failures: Dict[str, Exception],
+        outcomes: Dict[str, List[QueryResult]],
+    ) -> Dict[str, FeedFailure]:
+        """Decide the batch's fate once every feed has settled.
+
+        With fault tolerance on, feed deaths (:class:`FeedFailedError`) are
+        *isolated*: the dead feeds become structured
+        :class:`~repro.backend.results.FeedFailure` statuses and the
+        surviving feeds' results still merge — unless every feed died, which
+        leaves nothing to return.  Everything else (fault tolerance off, or
+        a non-feed-death error such as an exhausted crash-resume budget)
+        aborts the batch with one :class:`ExecutionError` naming every
+        failed feed and carrying the survivors' results.
+        """
+        if not failures:
+            return {}
+        isolate = (
+            self.config.enable_fault_tolerance
+            and all(isinstance(exc, FeedFailedError) for exc in failures.values())
+            and len(failures) < len(names)
+        )
+        if isolate:
+            return {
+                name: FeedFailure(
+                    feed=name,
+                    error=str(exc),
+                    frame_id=getattr(exc, "frame_id", None),
+                )
+                for name, exc in failures.items()
+            }
+        failed = ", ".join(repr(name) for name in names if name in failures)
+        raise ExecutionError(
+            f"feed(s) {failed} failed during multi-camera execution: "
+            f"{next(iter(failures.values()))}",
+            failed_feeds=failures,
+            partial_results=outcomes,
+        )
 
     def _run_feed(self, name, queries, reid_enabled, obs, parent):
         """One feed's batch execution, traced as its own parallel lane.
@@ -388,6 +448,10 @@ class MultiCameraSession:
         model = self.zoo.get(reid_cfg.reid_model)
         profiles: Dict[str, List[TrackProfile]] = {}
         for name, session in self.sessions.items():
+            if name in self.last_feed_failures:
+                # An isolated dead feed has only a partial context; its
+                # tracks are not linkable observations.
+                continue
             ctx = session.last_context
             if ctx is None:
                 raise ExecutionError(

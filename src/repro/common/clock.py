@@ -105,6 +105,22 @@ class SimClock:
         finally:
             self.by_account[f"region:{account}"] += self.elapsed_ms - start
 
+    def state_snapshot(self) -> Dict:
+        """The clock's full state as plain data (scan checkpointing)."""
+        return {
+            "elapsed_ms": self.elapsed_ms,
+            "by_account": dict(self.by_account),
+            "calls": dict(self.calls),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore :meth:`state_snapshot` *in place*, preserving identity:
+        readers/contexts holding a reference to this clock stay valid.
+        """
+        self.elapsed_ms = state["elapsed_ms"]
+        self.by_account = defaultdict(float, state["by_account"])
+        self.calls = defaultdict(int, state["calls"])
+
     def reset(self) -> None:
         self.elapsed_ms = 0.0
         self.by_account = defaultdict(float)

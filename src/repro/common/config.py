@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,89 @@ class ObsConfig:
             raise ValueError("max_decision_records must be >= 1")
         if self.max_spans < 1:
             raise ValueError("max_spans must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection and fault-tolerance knobs (:mod:`repro.faults`).
+
+    When enabled, a deterministic :class:`~repro.faults.injection.FaultInjector`
+    (seeded via :mod:`repro.common.rng`, keyed by (seed, feed, model, frame,
+    attempt) so decisions are invocation-order independent) injects the
+    configured fault mix, and every model invocation runs through the
+    resilient invoker: bounded retries with exponential backoff + jitter
+    charged to the ``SimClock``, per-model timeout budgets, and per-model
+    circuit breakers.  Off by default: the disabled path creates no fault
+    objects and is byte-identical.
+    """
+
+    enabled: bool = False
+    #: Seed for the fault stream (independent of the video/model seeds).
+    seed: int = 0
+    #: Probability that one model invocation attempt fails transiently.
+    transient_rate: float = 0.0
+    #: Probability that one invocation attempt suffers a latency spike.
+    latency_spike_rate: float = 0.0
+    #: Virtual-time multiplier applied to a spiked invocation.
+    latency_spike_factor: float = 10.0
+    #: Per-model timeout budget in virtual ms (None = no timeout).  An
+    #: attempt whose (possibly spiked) cost exceeds it raises
+    #: :class:`~repro.common.errors.ModelTimeoutError`, charged at most the
+    #: budget.
+    timeout_ms: Optional[float] = None
+    #: Probability that a frame arrives corrupted (degraded, never trusted).
+    corrupt_frame_rate: float = 0.0
+    #: Probability that a frame is dropped by the source (degraded).
+    drop_frame_rate: float = 0.0
+    #: (model name, from_frame): the model fails permanently from that frame.
+    dead_models: Tuple[Tuple[str, int], ...] = ()
+    #: (feed name, at_frame): the feed dies mid-scan at that frame
+    #: (:class:`~repro.common.errors.FeedFailedError`; permanent — not
+    #: resumed, handled by per-feed isolation).
+    dead_feeds: Tuple[Tuple[str, int], ...] = ()
+    #: (feed name, at_frame): one-shot scan crash at that frame (e.g. a
+    #: worker OOM).  Recoverable: with checkpointing on, the scan resumes
+    #: from the last checkpoint and the crash does not re-fire.
+    crash_frames: Tuple[Tuple[str, int], ...] = ()
+    #: Retries after the first failed attempt (total attempts = retries+1).
+    max_retries: int = 2
+    #: Backoff before retry k is ``base * factor**k + jitter * U[0,1)``
+    #: virtual ms, charged to the ``SimClock`` under ``fault-backoff``.
+    backoff_base_ms: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_jitter_ms: float = 1.0
+    #: Consecutive failures (across invocations) that open a model's circuit.
+    breaker_threshold: int = 3
+    #: Virtual ms an open circuit waits before admitting a half-open probe.
+    breaker_cooldown_ms: float = 250.0
+    #: Checkpoint the scan every N processed frames (0 = no checkpointing).
+    checkpoint_interval: int = 0
+    #: Bound on automatic resume-from-checkpoint attempts per scan.
+    max_resumes: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "latency_spike_rate", "corrupt_frame_rate", "drop_frame_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        if self.latency_spike_factor < 1.0:
+            raise ValueError("latency_spike_factor must be >= 1")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0 or self.backoff_jitter_ms < 0:
+            raise ValueError("backoff budgets must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError("breaker_cooldown_ms must be non-negative")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.max_resumes < 0:
+            raise ValueError("max_resumes must be >= 0")
 
 
 @dataclass(frozen=True)

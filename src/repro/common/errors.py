@@ -19,11 +19,58 @@ class PlanError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """A runtime failure while executing an operator DAG."""
+    """A runtime failure while executing an operator DAG.
+
+    Multi-feed executions attach structure: ``failed_feeds`` maps feed name
+    to the exception that killed it, and ``partial_results`` maps each
+    surviving feed to the per-query results it produced before the batch
+    was aborted (so one dead feed does not throw away its siblings' work).
+    """
+
+    def __init__(self, message: str = "", *, failed_feeds=None, partial_results=None):
+        super().__init__(message)
+        self.failed_feeds = dict(failed_feeds or {})
+        self.partial_results = dict(partial_results or {})
 
 
 class ModelError(ReproError):
-    """A simulated model was invoked with invalid inputs."""
+    """A model invocation failed: invalid inputs, an unknown registry name
+    (:meth:`~repro.models.base.ModelRegistry.create`), or — under fault
+    injection — a simulated model outage.
+    """
+
+
+class TransientModelError(ModelError):
+    """A model invocation failed in a retryable way (injected transient
+    fault, or a permanently-down model / open circuit, which presents as a
+    transient error on every attempt).  The resilient invoker retries these
+    with exponential backoff before giving up.
+    """
+
+
+class ModelTimeoutError(TransientModelError):
+    """A model invocation exceeded its per-model timeout budget.  The clock
+    is charged at most the budget for the failed attempt; timeouts are
+    retryable.
+    """
+
+
+class FeedFailedError(ExecutionError):
+    """A camera feed died mid-scan (injected feed death or an unrecoverable
+    per-feed failure).  Carries the feed name and the frame at which it died
+    so per-feed isolation can report a structured status.
+    """
+
+    def __init__(self, message: str = "", *, feed: str = "", frame_id=None):
+        super().__init__(message)
+        self.feed = feed
+        self.frame_id = frame_id
+
+
+class CheckpointError(ReproError):
+    """Scan checkpointing failed: no checkpoint available to resume from,
+    or a snapshot could not be captured/restored consistently.
+    """
 
 
 class SQLEngineError(ReproError):

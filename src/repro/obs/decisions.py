@@ -22,6 +22,13 @@ Decision catalog (action / reasons) — see docs/observability.md:
 * ``reid-embedding-recomputed`` / ``seeded-frame-provenance``
 * ``reid-unmatched`` / ``empty-gallery``, ``below-threshold``,
   ``class-mismatch``, ``identity-contended``
+* ``model-retry`` / ``transient-fault``, ``timeout``
+* ``circuit-opened`` / ``failure-threshold``; ``circuit-closed`` /
+  ``probe-succeeded``
+* ``frame-degraded`` / ``frame-corrupted``, ``frame-dropped``,
+  ``model-unavailable``
+* ``checkpoint-taken`` / ``checkpoint-interval``; ``scan-resumed`` /
+  ``crash-recovery``
 """
 
 from __future__ import annotations

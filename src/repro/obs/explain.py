@@ -140,6 +140,34 @@ def _budget_section(data: ExplainData) -> List[str]:
     return lines
 
 
+def _fault_section(stats: Dict[str, Any]) -> List[str]:
+    """Fault-tolerance counters; omitted entirely when nothing fired."""
+    keys = (
+        "faults_injected",
+        "model_retries",
+        "model_failures",
+        "circuit_opens",
+        "frames_degraded",
+        "checkpoints_taken",
+        "scan_resumes",
+    )
+    if not any(stats.get(k, 0) for k in keys):
+        return []
+    lines = ["Fault tolerance:"]
+    lines.append(
+        f"  injected={stats.get('faults_injected', 0)} "
+        f"retries={stats.get('model_retries', 0)} "
+        f"failures={stats.get('model_failures', 0)} "
+        f"circuit_opens={stats.get('circuit_opens', 0)}"
+    )
+    lines.append(
+        f"  degraded_frames={stats.get('frames_degraded', 0)} "
+        f"checkpoints={stats.get('checkpoints_taken', 0)} "
+        f"resumes={stats.get('scan_resumes', 0)}"
+    )
+    return lines
+
+
 def _decision_section(decisions: Optional[DecisionLog]) -> List[str]:
     lines = ["Decisions:"]
     if decisions is None:
@@ -169,5 +197,9 @@ def render_explain(data: ExplainData) -> str:
     lines.append("")
     lines.extend(_budget_section(data))
     lines.append("")
+    faults = _fault_section(data.scan_stats)
+    if faults:
+        lines.extend(faults)
+        lines.append("")
     lines.extend(_decision_section(data.decisions))
     return "\n".join(lines)

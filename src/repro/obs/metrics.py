@@ -109,6 +109,26 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.get(_key(name, labels))
 
+    # -- copying ----------------------------------------------------------
+
+    def __deepcopy__(self, memo: Dict[int, object]) -> "MetricsRegistry":
+        """Deep-copy the metric maps behind a *fresh* lock.
+
+        Locks are not copyable, and a copy must never share the original's
+        lock anyway.  Scan checkpointing deep-copies the scheduler's
+        ``ScanStats`` (whose counters live in a registry), so this has to
+        work under ``copy.deepcopy``.
+        """
+        import copy
+
+        clone = MetricsRegistry()
+        memo[id(self)] = clone
+        with self._lock:
+            clone._counters = dict(self._counters)
+            clone._gauges = copy.deepcopy(self._gauges, memo)
+            clone._histograms = copy.deepcopy(self._histograms, memo)
+        return clone
+
     # -- snapshot ---------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

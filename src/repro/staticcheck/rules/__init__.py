@@ -8,3 +8,4 @@ import repro.staticcheck.rules.picklability  # noqa: F401
 import repro.staticcheck.rules.thread_safety  # noqa: F401
 import repro.staticcheck.rules.knob_hygiene  # noqa: F401
 import repro.staticcheck.rules.trace_hygiene  # noqa: F401
+import repro.staticcheck.rules.retry_hygiene  # noqa: F401

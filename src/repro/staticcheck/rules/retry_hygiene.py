@@ -1,0 +1,249 @@
+"""SC7xx — retry/except hygiene for fault-tolerant code paths.
+
+The fault-tolerance layer (:mod:`repro.faults`) retries model invocations
+and recovers crashed scans; this rule family keeps those paths honest
+engine-wide:
+
+* a broad ``except`` that neither re-raises nor inspects the exception
+  swallows faults the resilience layer is supposed to see and count;
+* a ``while True`` retry loop whose handler never raises retries forever —
+  with simulated models a persistent fault turns that into a livelock;
+* a bounded retry loop that never charges backoff to a clock retries for
+  *free* on the virtual timeline, so measured latencies under faults are
+  fiction.
+
+Findings
+--------
+* ``SC701`` broad ``except`` (bare / ``Exception`` / ``BaseException``)
+  whose handler neither re-raises nor uses the bound exception
+* ``SC702`` ``while True`` loop retrying through an except handler with no
+  ``raise``/``break``/``return`` escape (unbounded retry)
+* ``SC703`` bounded retry loop (``for <attempt-like> in range(...)``) that
+  retries without a backoff/charge/sleep call anywhere in the loop
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.staticcheck.core import AnalysisTarget, CheckConfig, Finding, ModuleInfo, Rule, register_rule
+
+#: Exception names considered "broad" for SC701.
+_BROAD = {"Exception", "BaseException"}
+
+#: Loop-variable substrings that mark a for-range loop as a retry loop.
+_RETRY_VARS = ("attempt", "retry", "retries", "tries")
+
+#: Call-name substrings that count as paying for a retry delay.
+_BACKOFF_HINTS = ("backoff", "sleep", "charge", "wait")
+
+
+def _handler_is_broad(handler: ast.ExceptHandler, module: ModuleInfo) -> bool:
+    if handler.type is None:
+        return True
+    names: List[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in names:
+        dotted = module.resolve_attr_chain(expr)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD:
+            return True
+    return False
+
+
+def _contains(body: List[ast.stmt], *node_types: type) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, node_types):
+                return True
+    return False
+
+
+def _uses_name(body: List[ast.stmt], name: str) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _has_backoff_call(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                name = _call_name(node).lower()
+                if any(hint in name for hint in _BACKOFF_HINTS):
+                    return True
+    return False
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _is_retry_for(node: ast.For) -> bool:
+    """``for <attempt-like> in range(...)`` — the bounded-retry shape."""
+    if not isinstance(node.target, ast.Name):
+        return False
+    if not any(part in node.target.id.lower() for part in _RETRY_VARS):
+        return False
+    it = node.iter
+    return isinstance(it, ast.Call) and isinstance(it.func, ast.Name) and it.func.id == "range"
+
+
+def _enclosing_symbol(module: ModuleInfo, lineno: int) -> str:
+    """Dotted name of the innermost def/class containing ``lineno``."""
+    best: Optional[str] = None
+    best_span = None
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        nonlocal best, best_span
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                end = getattr(child, "end_lineno", child.lineno)
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                if child.lineno <= lineno <= end:
+                    span = end - child.lineno
+                    if best_span is None or span <= best_span:
+                        best, best_span = name, span
+                    visit(child, name)
+            else:
+                visit(child, prefix)
+
+    visit(module.tree, "")
+    return f"{module.dotted}.{best}" if best else module.dotted
+
+
+@register_rule
+class RetryHygieneRule(Rule):
+    name = "retry-hygiene"
+    id_prefix = "SC7"
+    description = (
+        "broad excepts re-raise or use the exception; retry loops bound their "
+        "attempts and charge backoff to a clock"
+    )
+
+    def check(self, target: AnalysisTarget, config: CheckConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in target.modules:
+            findings.extend(self._check_module(module))
+        unique: Dict[str, Finding] = {}
+        for finding in findings:
+            unique.setdefault(finding.key, finding)
+        return list(unique.values())
+
+    def _check_module(self, module: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_broad_handler(module, node))
+            elif isinstance(node, ast.While) and _is_while_true(node):
+                findings.extend(self._check_unbounded_retry(module, node))
+            elif isinstance(node, ast.For) and _is_retry_for(node):
+                findings.extend(self._check_free_retry(module, node))
+        return findings
+
+    # -- SC701 ------------------------------------------------------------
+    def _check_broad_handler(self, module: ModuleInfo, handler: ast.ExceptHandler) -> List[Finding]:
+        if not _handler_is_broad(handler, module):
+            return []
+        if _contains(handler.body, ast.Raise):
+            return []
+        if handler.name and _uses_name(handler.body, handler.name):
+            return []
+        label = handler.name or "<unbound>"
+        symbol = _enclosing_symbol(module, handler.lineno)
+        return [
+            Finding(
+                rule_id="SC701",
+                severity="error",
+                path=module.relpath,
+                line=handler.lineno,
+                symbol=symbol,
+                message=(
+                    "broad except swallows the exception — the handler neither "
+                    "re-raises nor uses the bound error, so faults vanish without "
+                    "a trace (retry counters, breakers, and logs all miss them)"
+                ),
+                fix_hint=(
+                    "catch the narrowest type that can actually occur, or record/"
+                    "re-raise the bound exception"
+                ),
+                fingerprint=f"swallowed-broad-except.{symbol.rsplit('.', 1)[-1]}.{label}",
+            )
+        ]
+
+    # -- SC702 ------------------------------------------------------------
+    def _check_unbounded_retry(self, module: ModuleInfo, loop: ast.While) -> List[Finding]:
+        findings: List[Finding] = []
+        for stmt in loop.body:
+            if not isinstance(stmt, ast.Try):
+                continue
+            for handler in stmt.handlers:
+                if _contains(handler.body, ast.Raise, ast.Break, ast.Return):
+                    continue
+                symbol = _enclosing_symbol(module, handler.lineno)
+                findings.append(
+                    Finding(
+                        rule_id="SC702",
+                        severity="error",
+                        path=module.relpath,
+                        line=handler.lineno,
+                        symbol=symbol,
+                        message=(
+                            "unbounded retry: `while True` re-enters the loop from an "
+                            "except handler with no raise/break/return escape — a "
+                            "persistent fault livelocks the scan"
+                        ),
+                        fix_hint=(
+                            "bound the attempts (for attempt in range(n)) or re-raise "
+                            "once a retry budget is spent"
+                        ),
+                        fingerprint=f"unbounded-retry.{symbol.rsplit('.', 1)[-1]}",
+                    )
+                )
+        return findings
+
+    # -- SC703 ------------------------------------------------------------
+    def _check_free_retry(self, module: ModuleInfo, loop: ast.For) -> List[Finding]:
+        retries = False
+        for stmt in loop.body:
+            if not isinstance(stmt, ast.Try):
+                continue
+            for handler in stmt.handlers:
+                # A handler that always raises is an escape, not a retry.
+                if len(handler.body) == 1 and isinstance(handler.body[0], ast.Raise):
+                    continue
+                retries = True
+        if not retries or _has_backoff_call(loop.body):
+            return []
+        symbol = _enclosing_symbol(module, loop.lineno)
+        return [
+            Finding(
+                rule_id="SC703",
+                severity="error",
+                path=module.relpath,
+                line=loop.lineno,
+                symbol=symbol,
+                message=(
+                    "retry loop never charges backoff — attempts are free on the "
+                    "virtual timeline, so latency under faults is understated and "
+                    "hot-retry storms are invisible"
+                ),
+                fix_hint=(
+                    "charge an (exponential) backoff delay to the SimClock between "
+                    "attempts, e.g. clock.charge('fault-backoff', delay)"
+                ),
+                fingerprint=f"free-retry.{symbol.rsplit('.', 1)[-1]}",
+            )
+        ]

@@ -163,17 +163,38 @@ class VideoReader:
     #: Virtual decode cost per frame-megapixel.
     DECODE_MS_PER_MEGAPIXEL = 0.05
 
-    def __init__(self, video: SyntheticVideo, batch_size: int = 1, clock=None) -> None:
+    def __init__(
+        self,
+        video: SyntheticVideo,
+        batch_size: int = 1,
+        clock=None,
+        start: int = 0,
+        frame_hook=None,
+    ) -> None:
+        """``start`` begins reading mid-video (scan checkpoint resume);
+        ``frame_hook`` is an optional per-frame transform — the fault layer's
+        injection point — that may replace the frame or drop it entirely by
+        returning None (decode cost is charged either way: a dropped frame
+        still crossed the wire).
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if start < 0:
+            raise ValueError("start must be >= 0")
         self.video = video
         self.batch_size = batch_size
         self.clock = clock
+        self.start = start
+        self.frame_hook = frame_hook
 
     def __iter__(self) -> Iterator[Frame]:
-        for frame in self.video.frames():
+        for frame in self.video.frames(self.start):
             if self.clock is not None:
                 self.clock.charge("video_reader", self.DECODE_MS_PER_MEGAPIXEL * self.video.spec.megapixels)
+            if self.frame_hook is not None:
+                frame = self.frame_hook(frame)
+                if frame is None:
+                    continue
             yield frame
 
     def batches(self) -> Iterator[List[Frame]]:

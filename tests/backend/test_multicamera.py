@@ -296,3 +296,47 @@ class TestExecuteOver:
         session.execute(RedCarQuery())
         assert session.last_multi is None
         assert session.cost_breakdown() == single
+
+
+class TestFeedFailureSettling:
+    """Regression tests for the future-settling bug: a failing feed used to
+    re-raise immediately, abandoning in-flight siblings and discarding the
+    results surviving feeds had already produced."""
+
+    @staticmethod
+    def _arm(multi, fail_feed, ran, monkeypatch):
+        for name, session in multi.sessions.items():
+            if name == fail_feed:
+                def boom(*a, **kw):
+                    raise RuntimeError("injected feed failure")
+
+                monkeypatch.setattr(session, "execute_many", boom)
+            else:
+                real = session.execute_many
+
+                def tracked(*a, _real=real, _name=name, **kw):
+                    out = _real(*a, **kw)
+                    ran.append(_name)
+                    return out
+
+                monkeypatch.setattr(session, "execute_many", tracked)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_single_error_names_feed_and_keeps_survivors(
+        self, feeds, zoo, fast_config, monkeypatch, workers
+    ):
+        from repro.common.errors import ExecutionError
+
+        multi = MultiCameraSession(feeds, zoo=zoo, config=fast_config, max_workers=workers)
+        ran = []
+        self._arm(multi, "banff", ran, monkeypatch)
+        with pytest.raises(ExecutionError) as excinfo:
+            multi.execute(RedCarQuery())
+        # One error, naming the failing feed, with the survivors settled and
+        # their finished results attached.
+        assert "'banff'" in str(excinfo.value)
+        assert set(excinfo.value.failed_feeds) == {"banff"}
+        assert ran == ["jackson"]
+        assert set(excinfo.value.partial_results) == {"jackson"}
+        [result] = excinfo.value.partial_results["jackson"]
+        assert result.num_frames_processed == feeds["jackson"].num_frames

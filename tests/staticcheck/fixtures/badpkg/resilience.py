@@ -1,0 +1,39 @@
+"""Retry/except shapes the retry-hygiene rule must reject."""
+
+from __future__ import annotations
+
+
+class TransientError(RuntimeError):
+    pass
+
+
+def swallow_everything(run):
+    try:
+        run()
+    except Exception:  # SC701: neither re-raised nor inspected
+        pass
+
+
+def swallow_with_unused_binding(run, log):
+    try:
+        run()
+    except Exception as exc:  # SC701: bound but never used
+        log.warning("run failed")
+
+
+def retry_forever(fn):
+    while True:
+        try:
+            return fn()
+        except TransientError:  # SC702: no raise/break/return escape
+            continue
+
+
+def hot_retry_no_backoff(fn, max_retries: int = 3):
+    last = None
+    for attempt in range(max_retries):
+        try:
+            return fn()
+        except TransientError as exc:  # SC703: retries are free, no backoff
+            last = exc
+    raise last

@@ -1,0 +1,46 @@
+"""Retry/except shapes that satisfy the retry-hygiene contract."""
+
+from __future__ import annotations
+
+
+class TransientError(RuntimeError):
+    pass
+
+
+def bounded_retry_with_backoff(clock, fn, max_retries: int = 2):
+    """Bounded attempts, backoff charged to the clock between them."""
+    last = None
+    for attempt in range(max_retries + 1):
+        try:
+            return fn()
+        except TransientError as exc:
+            last = exc
+            clock.charge("fault-backoff", 5.0 * (2.0**attempt))
+    raise last
+
+
+def recovery_loop(scan, checkpointer):
+    """`while True` is fine when every handler can escape via raise."""
+    while True:
+        try:
+            return scan()
+        except RuntimeError:
+            if not checkpointer.can_resume:
+                raise
+        checkpointer.restore()
+
+
+def broad_except_that_records(run, failures):
+    """Broad except is fine when the bound exception is actually used."""
+    try:
+        run()
+    except Exception as exc:
+        failures.append(exc)
+
+
+def broad_except_that_reraises(run, log):
+    try:
+        run()
+    except Exception:
+        log.warning("run failed")
+        raise

@@ -182,3 +182,33 @@ def test_trace_hygiene_manual_enter(badpkg):
 def test_trace_hygiene_severity(badpkg):
     findings = findings_for(badpkg, "trace-hygiene")
     assert findings and all(f.severity == "error" for f in findings)
+
+
+# -- retry-hygiene (SC7xx) --------------------------------------------------------
+
+
+def test_retry_hygiene_clean(cleanpkg):
+    # bounded retries charging backoff, escapable while-True recovery loops,
+    # and broad excepts that record or re-raise are all fine
+    assert findings_for(cleanpkg, "retry-hygiene") == []
+
+
+def test_retry_hygiene_swallowed_broad_except(badpkg):
+    keys = keys_of(findings_for(badpkg, "retry-hygiene"))
+    assert "SC701::resilience.py::swallowed-broad-except.swallow_everything.<unbound>" in keys
+    assert "SC701::resilience.py::swallowed-broad-except.swallow_with_unused_binding.exc" in keys
+
+
+def test_retry_hygiene_unbounded_retry(badpkg):
+    keys = keys_of(findings_for(badpkg, "retry-hygiene"))
+    assert "SC702::resilience.py::unbounded-retry.retry_forever" in keys
+
+
+def test_retry_hygiene_free_retry(badpkg):
+    keys = keys_of(findings_for(badpkg, "retry-hygiene"))
+    assert "SC703::resilience.py::free-retry.hot_retry_no_backoff" in keys
+
+
+def test_retry_hygiene_severity(badpkg):
+    findings = findings_for(badpkg, "retry-hygiene")
+    assert findings and all(f.severity == "error" for f in findings)
