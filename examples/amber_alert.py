@@ -1,25 +1,36 @@
-"""Amber-alert: registered optimizations, then a multi-camera manhunt.
+"""Amber-alert as a *standing query*: live monitoring with immediate alerts.
 
-Stage 1 is the single-camera query of the paper (§4.2, §4.4): a red car
-whose license plate ends in "45" — both intrinsic properties, so
-object-level computation reuse applies — with the RedCar VObj's registered
-binary classifier and specialized detector giving the planner alternative
-execution paths to profile.
+The paper's amber-alert query (§4.2, §4.4) — a red car whose license plate
+ends in "45" — is not a question you ask of a recording once; it is a query
+that stands against a camera feed indefinitely, alerting the moment the
+vehicle is seen.  This demo runs it in live mode (`enable_live=True`):
 
-Stage 2 is what an amber alert actually needs: the same vehicle chased
-across a *network* of cameras.  Cross-camera re-identification links each
-camera's tracks into global identities, and the alert becomes a
-cross-camera sequence query: "the suspect car on the first camera, then the
-same car downstream within a minute".
+* Stage 1 registers two standing queries against a paced live feed with
+  an alert-sink callback — the plate-specific alert and the broadcast
+  "be on the lookout for a red car" sighting — and every closed event
+  prints the moment the engine closes it, mid-stream, instead of
+  accumulating in a `QueryResult`.  A mid-stream disconnect shows the
+  watchdog reconnecting with standing-query state intact.
+* Stage 2 turns the pressure up — the feed delivers 8x faster than the
+  scan can process, with jitter and out-of-order delivery — and shows
+  graceful degradation: the stride coarsens before any frame is dropped
+  and the final accounting is exact (delivered == processed + shed +
+  late).
+* Stage 3 chases the same vehicle across a camera network with
+  cross-camera re-identification (the batch side of an actual manhunt).
 
 Run with:  python examples/amber_alert.py
 """
 
-from repro import MultiCameraSession, QuerySession, PlannerConfig
+from dataclasses import replace
+
+from repro import LiveSession, MultiCameraSession, PlannerConfig
 from repro.backend.crosscamera import CrossCameraSequence
+from repro.backend.live import CallbackSink
 from repro.frontend import Query
 from repro.frontend.builtin import RedCar
 from repro.videosim import datasets
+from repro.videosim.livefeed import LiveFeed
 from repro.videosim.multicam import CameraPlacement, handoff_scenario
 
 
@@ -53,24 +64,60 @@ class RedCarSightingQuery(Query):
         return (self.car.track_id, self.car.license_plate)
 
 
+def on_alert(alert) -> None:
+    event = alert.event
+    print(
+        f"  ALERT [{alert.feed}] {alert.query_name}: "
+        f"frames {event.start_frame}-{event.end_frame} "
+        f"(emitted at t={alert.emitted_at_ms / 1000:.1f}s virtual)"
+    )
+
+
 def main() -> None:
-    # ---- stage 1: the classic single-camera query with planner profiling --
+    # ---- stage 1: standing queries, alerting as events close --------------
     video = datasets.camera_clip("jackson", duration_s=90, seed=11)
-    config = PlannerConfig(profile_plans=True, canary_frames=45)
-    session = QuerySession(video, config=config)
+    live_cfg = replace(
+        PlannerConfig(profile_plans=False, enable_live=True),
+        live_config=replace(PlannerConfig().live_config, stall_timeout_ms=500.0),
+    )
 
-    plan = session.plan(AmberAlertQuery())
-    print(f"planner chose variant: {plan.variant}")
-    print(plan.describe())
+    print("standing queries against the live feed (with a 2 s outage):")
+    feed = LiveFeed(video, disconnects=[(30_000.0, 32_000.0)])
+    session = LiveSession(feed, config=live_cfg, sinks=[CallbackSink(on_alert)])
+    stats = session.run([AmberAlertQuery(), RedCarSightingQuery()])
+    print(
+        f"  feed ended: {stats.frames_processed}/{stats.frames_delivered} "
+        f"frames processed, {stats.alerts_emitted} alert(s)"
+    )
+    print(
+        f"  watchdog: {stats.stalls} stall(s), {stats.reconnects} reconnect(s), "
+        f"{stats.frames_lost} frame(s) lost to the outage — "
+        f"standing-query state survived"
+    )
 
-    result = session.execute(AmberAlertQuery())
-    hits = {r.outputs[1] for r in result.all_records() if r.frame_match}
-    print(f"\nmatching plates: {sorted(hits) or 'none in this clip'}")
-    print(f"matched frames : {len(result.matched_frames)}")
-    print(f"virtual runtime: {result.total_ms / 1000:.2f} s "
-          f"(reuse avoided {result.reuse_hits} property computations)")
+    # ---- stage 2: sustained overload, degrading gracefully ----------------
+    print("\nsame queries, 8x overload with jitter and reordering:")
+    stressed = LiveFeed(
+        video, fps=video.fps * 8, jitter_ms=5.0, reorder_rate=0.05, seed=11
+    )
+    stress_config = PlannerConfig(
+        profile_plans=False, enable_live=True, enable_stride_sampling=True
+    )
+    session = LiveSession(stressed, config=stress_config)
+    stats = session.run([AmberAlertQuery(), RedCarSightingQuery()])
+    print(
+        f"  accounting: delivered={stats.frames_delivered} = "
+        f"processed {stats.frames_processed} + shed {stats.frames_shed} "
+        f"+ late-dropped {stats.frames_late_dropped}"
+    )
+    print(
+        f"  degradation: peak stride {stats.peak_pressure_stride} "
+        f"(raised {stats.pressure_raises}x before any drop), "
+        f"peak buffered {stats.peak_buffered}, "
+        f"{stats.alerts_emitted} alert(s) still emitted"
+    )
 
-    # ---- stage 2: chain the cameras along the alert corridor -------------
+    # ---- stage 3: chain the cameras along the alert corridor --------------
     scenario = handoff_scenario(
         cameras=(
             CameraPlacement("school_zone", fps=15, start_offset_s=0.0),

@@ -31,7 +31,7 @@ from repro.frontend import (
     frame_filter,
     register_model,
 )
-from repro.backend import MultiCameraSession, QuerySession, PlannerConfig
+from repro.backend import LiveSession, MultiCameraSession, QuerySession, PlannerConfig
 from repro.common.clock import SimClock
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "vobj_filter",
     "frame_filter",
     "register_model",
+    "LiveSession",
     "MultiCameraSession",
     "QuerySession",
     "PlannerConfig",

@@ -14,6 +14,7 @@ from repro.backend.crosscamera import (
 )
 from repro.backend.executor import Executor, extract_events
 from repro.backend.graph import FrameGraph, RelationEdge, VObjNode
+from repro.backend.live import Alert, CallbackSink, LiveSession, LiveStats, QueueSink
 from repro.backend.operators import (
     DetectorOp,
     FrameFilterOp,
@@ -57,6 +58,11 @@ __all__ = [
     "FrameGraph",
     "RelationEdge",
     "VObjNode",
+    "Alert",
+    "CallbackSink",
+    "LiveSession",
+    "LiveStats",
+    "QueueSink",
     "DetectorOp",
     "FrameFilterOp",
     "FusedOp",

@@ -37,7 +37,14 @@ from repro.backend.operators import (
     VObjFilterOp,
 )
 from repro.backend.plan import QueryPlan
-from repro.common.config import AccuracyTarget, FaultConfig, ObsConfig, ReidConfig, StrideConfig
+from repro.common.config import (
+    AccuracyTarget,
+    FaultConfig,
+    LiveConfig,
+    ObsConfig,
+    ReidConfig,
+    StrideConfig,
+)
 from repro.common.errors import PlanError, ReproError
 from repro.frontend.expr import Comparison, Literal, Predicate, PropertyRef, conjunction
 from repro.frontend.query import Query
@@ -133,6 +140,16 @@ class PlannerConfig:
     #: Fault model + resilience tuning (rates, retries, breaker, checkpoint
     #: interval); its ``enabled`` field is overridden by the switch above.
     fault_config: FaultConfig = FaultConfig()
+    #: Live push-driven ingestion (:mod:`repro.backend.live`): standing
+    #: queries over an unbounded paced feed, immediate alert emission,
+    #: bounded ingest queue with pressure-driven stride shedding, reorder
+    #: window, and watchdog-driven reconnection.  Off = batch execution
+    #: only; no live objects are created and results are byte-identical.
+    enable_live: bool = False
+    #: Live ingestion tuning (queue cap, pressure thresholds, reorder
+    #: window, watchdog/reconnect); its ``enabled`` field is overridden by
+    #: the switch above.
+    live_config: LiveConfig = LiveConfig()
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
@@ -165,6 +182,10 @@ class PlannerConfig:
     def faults(self) -> "FaultConfig":
         """The fault-tolerance knobs as a FaultConfig."""
         return replace(self.fault_config, enabled=self.enable_fault_tolerance)
+
+    def live(self) -> "LiveConfig":
+        """The live-ingestion knobs as a LiveConfig."""
+        return replace(self.live_config, enabled=self.enable_live)
 
 
 class Planner:

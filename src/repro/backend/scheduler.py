@@ -17,8 +17,13 @@ filters ahead of detectors; §4.2/§5.3 — cross-query reuse):
   stream's tracker state has been Kalman-predictable for a configurable
   number of consecutive frames (every active track matched, no births or
   deaths, predicted-vs-detected IoU above tolerance), the controller doubles
-  the stream's detection stride up to ``max_stride``.  The scheduler then
-  *defers* the frames every stream agrees to skip, and on the next sampled
+  the stream's detection stride up to ``max_stride``.  Streams are grouped
+  into :class:`StrideCohort`\\ s — streams whose tracked (tracker, detector)
+  pairs transitively overlap defer and sample together, because a shared
+  tracker can only advance once per frame; streams sharing nothing schedule
+  independently, so one unstable or untracked stream no longer pins every
+  stream at stride 1.  Each cohort *defers* the frames its members agree to
+  skip, and on the cohort's next sampled
   frame either (a) **fills** the gap — predictions validated — by seeding the
   execution context with track-interpolated detections and running the
   ordinary pipelines over them (no detector or tracker invocation, frames
@@ -89,6 +94,10 @@ class ScanStats:
     early_exit_frame = RegistryField(None)
     #: Frames provisionally skipped by the stride sampler (deferred).
     frames_deferred = RegistryField(0)
+    #: (cohort, frame) deferrals on frames some *other* cohort still
+    #: processed (per-cohort stride scheduling; ``frames_deferred`` counts
+    #: only frames every cohort skipped).
+    partial_deferrals = RegistryField(0)
     #: Deferred frames whose results were filled by track interpolation.
     frames_interpolated = RegistryField(0)
     #: Deferred frames re-scanned in full after a prediction disagreement.
@@ -125,6 +134,7 @@ class ScanStats:
         "streams_retired",
         "early_exit_frame",
         "frames_deferred",
+        "partial_deferrals",
         "frames_interpolated",
         "frames_rescanned",
         "leaf_frames_interpolated",
@@ -150,6 +160,7 @@ class ScanStats:
         streams_retired: int = 0,
         early_exit_frame: Optional[int] = None,
         frames_deferred: int = 0,
+        partial_deferrals: int = 0,
         frames_interpolated: int = 0,
         frames_rescanned: int = 0,
         leaf_frames_interpolated: int = 0,
@@ -175,6 +186,7 @@ class ScanStats:
         self.streams_retired = streams_retired
         self.early_exit_frame = early_exit_frame
         self.frames_deferred = frames_deferred
+        self.partial_deferrals = partial_deferrals
         self.frames_interpolated = frames_interpolated
         self.frames_rescanned = frames_rescanned
         self.leaf_frames_interpolated = leaf_frames_interpolated
@@ -350,11 +362,36 @@ class StrideController:
             self.streak = 0
 
 
+class StrideCohort:
+    """Streams that defer and sample frames together.
+
+    Two streams whose tracked (tracker, detector) pairs transitively overlap
+    must share a sample grid — a shared tracker can only advance once per
+    frame, and stride validation anchors on the pair's last processed frame
+    — so they are grouped into one cohort.  Streams sharing no pair land in
+    separate cohorts and schedule independently: one unstable (or untracked)
+    stream pins only its own cohort at stride 1, never the whole batch.
+    """
+
+    def __init__(self, streams: Sequence[QueryStream]) -> None:
+        self.streams: List[QueryStream] = list(streams)
+        self.leaves: List[PlanStream] = [
+            leaf for stream in self.streams for leaf in stream.plan_streams()
+        ]
+        #: Frames this cohort provisionally skipped, oldest first.  Resolved
+        #: (interpolated or re-scanned) at the cohort's next sampled frame.
+        self.pending: List[Frame] = []
+        #: Frame id of the last frame this cohort's pipelines actually ran
+        #: on — the anchor its stride predictions extrapolate from.
+        self.last_processed: Optional[int] = None
+
+
 class ScanScheduler:
     """Advances a batch of query streams through a shared scan, adaptively.
 
-    Per frame the scheduler (1) defers the frame entirely when every active
-    stream's stride says to skip it, (2) consults the :class:`FrameGate` so
+    Per frame the scheduler (1) defers the frame for every stride cohort
+    whose stride says to skip it — entirely when *all* cohorts agree,
+    (2) consults the :class:`FrameGate` so
     leaves whose filters reject the frame skip their detector/tracker/
     property pipeline, (3) on sampled frames validates tracker predictions
     and resolves any deferred gap (interpolated fill or full re-scan),
@@ -389,12 +426,15 @@ class ScanScheduler:
             leaf for stream in self._active for leaf in stream.plan_streams()
         ]
         self._controllers: Dict[int, StrideController] = {}
+        self._cohorts: List[StrideCohort] = []
         if self.stride_cfg is not None:
             self._controllers = {
                 id(s): StrideController(s, self.stride_cfg) for s in self.streams
             }
-        #: Frames provisionally skipped by the stride sampler, oldest first.
-        self._pending: List[Frame] = []
+            self._cohorts = self._build_cohorts()
+        #: Stride floor forced on interpolation-capable cohorts by live-mode
+        #: backpressure (1 = no pressure; see :meth:`set_pressure_stride`).
+        self.pressure_stride = 1
         #: Widest lookback any stream needs: frames younger than this may
         #: still feed duration/temporal grouping and must not be evicted.
         self.lookback = max((s.lookback_frames() for s in self.streams), default=0)
@@ -425,51 +465,79 @@ class ScanScheduler:
             if frame_fault is not None:
                 return self._degrade_frame(frame, f"frame-{frame_fault}")
 
+        sampling: Optional[List[StrideCohort]] = None
+        verdicts: Optional[Dict[int, bool]] = None
         if self.stride_cfg is not None:
-            stride = self._batch_stride()
-            if stride > 1 and frame.frame_id % stride != 0:
-                # Every active stream agreed to skip: defer the frame.  It is
-                # resolved (interpolated or re-scanned) at the next sample.
-                self._pending.append(frame)
+            sampling = []
+            deferring: List[Tuple[StrideCohort, int]] = []
+            for cohort in self._cohorts:
+                stride = self._cohort_stride(cohort)
+                if stride > 1 and frame.frame_id % stride != 0:
+                    deferring.append((cohort, stride))
+                else:
+                    sampling.append(cohort)
+            if not sampling:
+                # Every cohort agreed to skip: defer the frame outright.  It
+                # is resolved (interpolated or re-scanned) at each cohort's
+                # next sampled frame.
+                for cohort, _ in deferring:
+                    cohort.pending.append(frame)
                 self.stats.frames_deferred += 1
                 if self.obs is not None:
                     self.obs.decisions.record(
-                        "frame-deferred", "stride-skip", frame_id=frame.frame_id, stride=stride
+                        "frame-deferred",
+                        "stride-skip",
+                        frame_id=frame.frame_id,
+                        stride=min(s for _, s in deferring),
                     )
-                self._release_through(
-                    min(frame.frame_id - self.lookback, self._pending[0].frame_id - 1)
-                )
+                self._release_through(self._release_horizon(frame.frame_id - self.lookback))
                 return True
-            verdicts = self._validate_and_resolve(frame)
-            if verdicts is None:
-                # Every stream's answer was determined while resolving the
-                # deferred gap — stop before this frame, exactly where a
-                # stride-1 early-exit scan would have stopped.
-                return False
-        else:
-            verdicts = None
-
-        self._process_frame(frame)
-
-        if verdicts is not None:
-            for stream in self._active:
-                controller = self._controllers[id(stream)]
-                before = controller.stride
-                controller.observe(verdicts.get(id(stream), False), self.stats)
+            for cohort, stride in deferring:
+                # Some other cohort still samples this frame: a *partial*
+                # deferral.  The cohort stashes the frame for its own later
+                # gap resolution while the sampling cohorts process it now.
+                cohort.pending.append(frame)
+                self.stats.partial_deferrals += 1
                 if self.obs is not None:
-                    if controller.stride != before:
-                        raised = controller.stride > before
-                        self.obs.decisions.record(
-                            "stride-raised" if raised else "stride-reset",
-                            "stable-streak" if raised else "prediction-mismatch",
-                            frame_id=frame.frame_id,
-                            subject=_stream_query_name(stream),
-                            stride_from=before,
-                            stride_to=controller.stride,
-                        )
-                    self.obs.metrics.observe("stride_level", controller.stride)
+                    self.obs.decisions.record(
+                        "frame-deferred",
+                        "stride-skip",
+                        frame_id=frame.frame_id,
+                        stride=stride,
+                        subject=_stream_query_name(cohort.streams[0]),
+                    )
+            verdicts = {}
+            for cohort in sampling:
+                cohort_verdicts = self._validate_and_resolve(cohort, frame)
+                if cohort_verdicts is None:
+                    # Every stream's answer was determined while resolving the
+                    # deferred gap — stop before this frame, exactly where a
+                    # stride-1 early-exit scan would have stopped.
+                    return False
+                verdicts.update(cohort_verdicts)
 
-        self._release_through(frame.frame_id - self.lookback)
+        self._process_frame(frame, cohorts=sampling)
+
+        if verdicts is not None and sampling is not None:
+            for cohort in sampling:
+                for stream in cohort.streams:
+                    controller = self._controllers[id(stream)]
+                    before = controller.stride
+                    controller.observe(verdicts.get(id(stream), False), self.stats)
+                    if self.obs is not None:
+                        if controller.stride != before:
+                            raised = controller.stride > before
+                            self.obs.decisions.record(
+                                "stride-raised" if raised else "stride-reset",
+                                "stable-streak" if raised else "prediction-mismatch",
+                                frame_id=frame.frame_id,
+                                subject=_stream_query_name(stream),
+                                stride_from=before,
+                                stride_to=controller.stride,
+                            )
+                        self.obs.metrics.observe("stride_level", controller.stride)
+
+        self._release_through(self._release_horizon(frame.frame_id - self.lookback))
         if self.early_exit:
             self._retire_done()
             if not self._active:
@@ -481,20 +549,33 @@ class ScanScheduler:
         """Resolve any deferred tail and release retained frames.
 
         A video can end (or an early exit can never come — it is checked on
-        sampled frames only) while frames sit in the deferred gap; with no
-        future sampled frame to validate against, the tail is re-scanned in
-        full, which is exactly what a stride-1 scan would have done.
+        sampled frames only) while frames sit in a cohort's deferred gap;
+        with no future sampled frame to validate against, each tail is
+        re-scanned in full, which is exactly what a stride-1 scan would have
+        done.
         """
-        if self._pending:
-            self._rescan_gap(reason="scan-ended-mid-gap")
+        for cohort in list(self._cohorts):
+            if cohort.pending and not self._rescan_gap(cohort, reason="scan-ended-mid-gap"):
+                break
         if self._last_frame_id is not None:
             self._release_through(self._last_frame_id)
 
     # -- per-frame processing ----------------------------------------------------
-    def _process_frame(self, frame: Frame) -> None:
-        """Run one frame through gate + leaf pipelines + composition layers."""
+    def _process_frame(
+        self, frame: Frame, cohorts: Optional[Sequence[StrideCohort]] = None
+    ) -> None:
+        """Run one frame through gate + leaf pipelines + composition layers.
+
+        With ``cohorts`` the frame runs only through those cohorts' leaves
+        (the other cohorts deferred it); without, through every active leaf.
+        """
         ctx = self.ctx
-        leaves = self._active_leaves
+        if cohorts is None:
+            leaves: List[PlanStream] = self._active_leaves
+            streams: List[QueryStream] = self._active
+        else:
+            leaves = [leaf for cohort in cohorts for leaf in cohort.leaves]
+            streams = [stream for cohort in cohorts for stream in cohort.streams]
         frame_start = ctx.clock.snapshot()
         degraded = 0
         for leaf in leaves:
@@ -509,11 +590,13 @@ class ScanScheduler:
         per_leaf_ms = ctx.clock.since(frame_start) / max(len(leaves), 1)
         for leaf in leaves:
             leaf.result.per_frame_ms.append(per_leaf_ms)
-        for stream in self._active:
+        for stream in streams:
             stream.observe_frame(frame.frame_id)
         if degraded:
             self.stats.frames_degraded += 1
         self._last_processed = frame.frame_id
+        for cohort in self._cohorts if cohorts is None else cohorts:
+            cohort.last_processed = frame.frame_id
 
     # -- fault degradation --------------------------------------------------------
     def _run_leaf_resilient(self, leaf: PlanStream, frame: Frame) -> int:
@@ -539,10 +622,12 @@ class ScanScheduler:
         the frame outright.  Mirrors :meth:`step`'s post-processing so
         release/early-exit bookkeeping stays intact.
         """
-        if self._pending and not self._rescan_gap(reason=reason):
-            # A faulty frame cannot validate a deferred gap; replay the gap
-            # in full first so groupers and trackers see frames in order.
-            return False
+        for cohort in list(self._cohorts):
+            # A faulty frame cannot validate a deferred gap; replay each
+            # cohort's gap in full first so groupers and trackers see frames
+            # in order.
+            if cohort.pending and not self._rescan_gap(cohort, reason=reason):
+                return False
         ctx = self.ctx
         leaves = self._active_leaves
         frame_start = ctx.clock.snapshot()
@@ -621,17 +706,64 @@ class ScanScheduler:
             self.obs.metrics.inc("frames_degraded", mode=mode)
 
     # -- stride sampling ----------------------------------------------------------
-    def _batch_stride(self) -> int:
-        """The stride every active stream agrees on (1 disables skipping)."""
+    def _build_cohorts(self) -> List[StrideCohort]:
+        """Group streams whose tracked pairs transitively overlap (union-find).
+
+        Deterministic: cohorts are ordered by their earliest member's
+        position in the original stream order, and members keep that order
+        within a cohort — so the single-cohort case reproduces the former
+        batch-consensus scheduling byte for byte.
+        """
+        parent = list(range(len(self.streams)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+
+        pair_owner: Dict[TrackedPair, int] = {}
+        for idx, stream in enumerate(self.streams):
+            for pair in self._controllers[id(stream)].pairs:
+                if pair in pair_owner:
+                    union(idx, pair_owner[pair])
+                else:
+                    pair_owner[pair] = idx
+        groups: Dict[int, List[QueryStream]] = {}
+        order: List[int] = []
+        for idx, stream in enumerate(self.streams):
+            root = find(idx)
+            if root not in groups:
+                groups[root] = []
+                order.append(root)
+            groups[root].append(stream)
+        return [StrideCohort(groups[root]) for root in order]
+
+    def _cohort_stride(self, cohort: StrideCohort) -> int:
+        """The stride every cohort member agrees on (1 disables skipping)."""
         stride: Optional[int] = None
-        for stream in self._active:
+        for stream in cohort.streams:
             controller = self._controllers[id(stream)]
             if not controller.eligible:
+                # An untracked member pins its own cohort (never the whole
+                # batch) at stride 1: its frames are not reconstructible.
                 return 1
             stride = controller.stride if stride is None else min(stride, controller.stride)
-        return stride or 1
+        stride = stride or 1
+        if self.pressure_stride > 1:
+            # Live backpressure sheds *accuracy* before frames: force
+            # coarser sampling on every cohort that can interpolate.
+            stride = max(stride, self.pressure_stride)
+        return stride
 
-    def _validate_and_resolve(self, frame: Frame) -> Optional[Dict[int, bool]]:
+    def _validate_and_resolve(
+        self, cohort: StrideCohort, frame: Frame
+    ) -> Optional[Dict[int, bool]]:
         """Validate tracker predictions at a sampled frame; resolve the gap.
 
         Validation runs *before* any pipeline touches the frame, while the
@@ -642,11 +774,12 @@ class ScanScheduler:
 
         Returns None when every stream's answer became determined while the
         gap was being resolved (the scan must stop there, like a stride-1
-        early exit would have), otherwise the per-stream verdicts.
+        early exit would have), otherwise the per-stream verdicts for the
+        cohort's members.
         """
         verdicts: Dict[int, bool] = {}
         match_maps: Dict[TrackedPair, Optional[Dict[int, Detection]]] = {}
-        for stream in self._active:
+        for stream in cohort.streams:
             controller = self._controllers[id(stream)]
             if not controller.eligible:
                 verdicts[id(stream)] = False
@@ -656,43 +789,48 @@ class ScanScheduler:
                 if pair not in match_maps:
                     if self.faults is not None:
                         try:
-                            match_maps[pair] = self._validate_pair(pair, frame)
+                            match_maps[pair] = self._validate_pair(cohort, pair, frame)
                         except ModelError:
                             # Probe hit a down model: abstain.  The gap is
                             # then resolved by re-scan, where each frame
                             # degrades (or recovers) individually.
                             match_maps[pair] = None
                     else:
-                        match_maps[pair] = self._validate_pair(pair, frame)
+                        match_maps[pair] = self._validate_pair(cohort, pair, frame)
                 if match_maps[pair] is None:
                     ok = False
             verdicts[id(stream)] = ok
 
-        if self._pending:
-            if all(verdicts.get(id(s), False) for s in self._active):
-                resolved = self._fill_gap(frame, match_maps)
+        if cohort.pending:
+            if all(verdicts.get(id(s), False) for s in cohort.streams):
+                resolved = self._fill_gap(cohort, frame, match_maps)
             else:
-                resolved = self._rescan_gap()
+                resolved = self._rescan_gap(cohort)
             if not resolved:
                 return None
         return verdicts
 
-    def _probe_allowed(self, detector_name: str, frame: Frame) -> bool:
+    def _probe_allowed(self, cohort: StrideCohort, detector_name: str, frame: Frame) -> bool:
         """True when a stride-1 scan would also run this detector here.
 
         The validation probe must never *add* detector invocations: if every
-        leaf using the detector is gate-rejected on this frame, a stride-1
-        scan would not have detected on it either, so validation abstains
-        (the gap is then resolved by re-scan, which is budget-neutral).
+        cohort leaf using the detector is gate-rejected on this frame, a
+        stride-1 scan would not have detected on it for this cohort either,
+        so validation abstains (the gap is then resolved by re-scan, which
+        is budget-neutral).  Scoped to the cohort's own leaves — another
+        cohort admitting the detector cannot justify a probe anchored on
+        this cohort's tracker state.
         """
-        for leaf in self._active_leaves:
+        for leaf in cohort.leaves:
             if detector_name not in leaf.detector_models:
                 continue
             if self.gate is None or self.gate.admits(leaf, frame):
                 return True
         return False
 
-    def _validate_pair(self, pair: TrackedPair, frame: Frame) -> Optional[Dict[int, Detection]]:
+    def _validate_pair(
+        self, cohort: StrideCohort, pair: TrackedPair, frame: Frame
+    ) -> Optional[Dict[int, Detection]]:
         """Match predicted track boxes against a detector probe on ``frame``.
 
         Returns ``{track_id: matched detection}`` when the scene is fully
@@ -702,10 +840,10 @@ class ScanScheduler:
         on any disagreement.
         """
         tracker_name, detector_name = pair
-        last = self._last_processed
+        last = cohort.last_processed
         if last is None:
             return None
-        if not self._probe_allowed(detector_name, frame):
+        if not self._probe_allowed(cohort, detector_name, frame):
             return None
         tracker = self.ctx.peek_tracker(tracker_name, detector_name)
         tracks = tracker.active_tracks if tracker is not None else []
@@ -737,6 +875,7 @@ class ScanScheduler:
 
     def _fill_gap(
         self,
+        cohort: StrideCohort,
         frame: Frame,
         match_maps: Mapping[TrackedPair, Optional[Dict[int, Detection]]],
     ) -> bool:
@@ -753,7 +892,7 @@ class ScanScheduler:
         scan should stop without touching the sampled endpoint's pipelines).
         """
         ctx = self.ctx
-        pending, self._pending = self._pending, []
+        pending, cohort.pending = cohort.pending, []
         for gap_frame in pending:
             frame_start = ctx.clock.snapshot()
             for pair, matches in match_maps.items():
@@ -773,7 +912,7 @@ class ScanScheduler:
                         replace(track.last_detection, bbox=bbox, frame_id=gap_frame.frame_id)
                     )
                 ctx.seed_frame(gap_frame.frame_id, detector_name, pair, interpolated)
-            for leaf in self._active_leaves:
+            for leaf in cohort.leaves:
                 # The gate still applies on filled frames: a stride-1 scan
                 # would have run the (cheap) filters here too, so honouring
                 # them is budget-neutral and keeps a leaf from reporting
@@ -785,10 +924,10 @@ class ScanScheduler:
                 leaf.process_frame(gap_frame, ctx)
                 leaf.mark_interpolated(gap_frame.frame_id)
                 self.stats.leaf_frames_interpolated += 1
-            per_leaf_ms = ctx.clock.since(frame_start) / max(len(self._active_leaves), 1)
-            for leaf in self._active_leaves:
+            per_leaf_ms = ctx.clock.since(frame_start) / max(len(cohort.leaves), 1)
+            for leaf in cohort.leaves:
                 leaf.result.per_frame_ms.append(per_leaf_ms)
-            for stream in self._active:
+            for stream in cohort.streams:
                 stream.observe_frame(gap_frame.frame_id)
             self.stats.frames_interpolated += 1
             if self.obs is not None:
@@ -802,8 +941,8 @@ class ScanScheduler:
                 return False
         return True
 
-    def _rescan_gap(self, reason: str = "validation-failed") -> bool:
-        """Run the full pipeline over the deferred frames (disagreement path).
+    def _rescan_gap(self, cohort: StrideCohort, reason: str = "validation-failed") -> bool:
+        """Run the full pipeline over a cohort's deferred frames.
 
         Frames are replayed in order *before* the sampled frame's pipelines
         run, so tracker state sees exactly the update sequence a stride-1
@@ -813,9 +952,9 @@ class ScanScheduler:
         Returns False when the re-scan determined every stream's answer (a
         stride-1 early-exit scan would have stopped on that frame too).
         """
-        pending, self._pending = self._pending, []
+        pending, cohort.pending = cohort.pending, []
         for gap_frame in pending:
-            self._process_frame(gap_frame)
+            self._process_frame(gap_frame, cohorts=[cohort])
             self.stats.frames_rescanned += 1
             if self.obs is not None:
                 self.obs.decisions.record(
@@ -856,7 +995,41 @@ class ScanScheduler:
                 "scan-early-exit", "all-streams-done", frame_id=frame_id
             )
 
+    # -- live-mode hooks ----------------------------------------------------------
+    def set_pressure_stride(self, stride: int) -> bool:
+        """Force a stride floor on interpolation-capable cohorts.
+
+        Live backpressure calls this when ingest outruns compute: cohorts
+        whose frames are reconstructible sample coarser (shedding *accuracy*,
+        not frames) until pressure drops and the floor returns to 1.  Returns
+        False (no-op) when stride sampling is disabled — there is then no
+        interpolation machinery to shed with, and hard drops are the only
+        relief valve.
+        """
+        if self.stride_cfg is None:
+            return False
+        self.pressure_stride = max(1, int(stride))
+        return True
+
+    def note_missing_frame(self, frame_id: int) -> None:
+        """Label a frame the scan will never step (live shed / feed outage).
+
+        Marks the frame skipped for every active leaf so events spanning it
+        stay labelled via ``Event.skipped_frames``; groupers are *not*
+        advanced (nothing observed the frame), so runs close by gap exactly
+        as if the source had never delivered it.
+        """
+        for leaf in self._active_leaves:
+            leaf.mark_missing(frame_id)
+
     # -- internals --------------------------------------------------------------
+    def _release_horizon(self, horizon: int) -> int:
+        """Clamp a release horizon below every cohort's oldest deferred frame."""
+        for cohort in self._cohorts:
+            if cohort.pending:
+                horizon = min(horizon, cohort.pending[0].frame_id - 1)
+        return horizon
+
     def _release_through(self, horizon: int) -> None:
         """Evict caches for every unreleased frame id up to ``horizon``."""
         while self._release_cursor <= horizon:
@@ -883,3 +1056,12 @@ class ScanScheduler:
             self._active_leaves = [
                 leaf for stream in still_active for leaf in stream.plan_streams()
             ]
+            if self._cohorts:
+                keep = {id(s) for s in still_active}
+                for cohort in self._cohorts:
+                    if any(id(s) not in keep for s in cohort.streams):
+                        cohort.streams = [s for s in cohort.streams if id(s) in keep]
+                        cohort.leaves = [
+                            leaf for s in cohort.streams for leaf in s.plan_streams()
+                        ]
+                self._cohorts = [c for c in self._cohorts if c.streams]

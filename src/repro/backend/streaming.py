@@ -79,6 +79,9 @@ class OnlineEventGrouper:
         #: Gate-skipped frames that may still fall inside an open run.
         self._skipped: List[int] = []
         self._finished = False
+        #: Closed events forgotten by :meth:`trim_closed` (standing-query
+        #: mode); keeps :attr:`num_closed` monotonic after trimming.
+        self._dropped_closed = 0
 
     def observe(self, frame_id: int, signatures: Iterable[Tuple]) -> None:
         """Feed the signatures matched on ``frame_id`` (call once per frame)."""
@@ -125,7 +128,7 @@ class OnlineEventGrouper:
     @property
     def num_closed(self) -> int:
         """Events closed so far (drives top-k early-exit decisions)."""
-        return len(self._closed)
+        return self._dropped_closed + len(self._closed)
 
     def closed_in_order(self, k: int) -> List[Event]:
         """The first ``k`` events in *close* order (top-k bound semantics).
@@ -141,6 +144,22 @@ class OnlineEventGrouper:
         """Events closed since the previous drain, in close order."""
         out, self._pending = self._pending, []
         return out
+
+    def trim_closed(self) -> int:
+        """Forget already-drained closed events; returns how many were dropped.
+
+        Standing queries (live mode) hand each event out exactly once via
+        :meth:`drain` and never finalize from history, so retaining every
+        closed event forever would grow without bound.  Bounded queries must
+        NOT trim — :meth:`closed_in_order` needs the close-order prefix —
+        which is why callers gate this on ``limit is None``.
+        """
+        kept = len(self._pending)
+        dropped = len(self._closed) - kept
+        if dropped > 0:
+            self._dropped_closed += dropped
+            self._closed = self._closed[-kept:] if kept else []
+        return max(dropped, 0)
 
     # -- watermarks (bounds on events this grouper may still close) -----------
     def start_watermark(self, frame_id: int) -> int:
@@ -215,6 +234,26 @@ class QueryStream(ABC):
     def min_future_event_end(self, frame_id: int) -> int:
         """Lower bound on the end frame of any event still to be closed."""
         return frame_id + 1
+
+    # -- standing-query (live-mode) protocol ------------------------------------
+    def flush_events(self) -> List[Event]:
+        """Force-close open runs and return the newly closed events.
+
+        Called when a live session shuts a standing query down: runs still
+        open at the last observed frame are closed as if the feed had ended,
+        so their events reach the alert sinks instead of being lost.
+        """
+        return []
+
+    def prune_live(self, frame_id: int) -> None:
+        """Release accumulated state no future event can depend on.
+
+        A standing query never finalizes from history — events are emitted
+        incrementally via :meth:`drain_events` — so per-frame match records
+        and already-drained events behind the stream's own watermarks are
+        dead weight.  Implementations must no-op for bounded streams (their
+        finalize genuinely replays history); the default does nothing.
+        """
 
 
 class PlanStream(QueryStream):
@@ -301,6 +340,18 @@ class PlanStream(QueryStream):
             self._grouper.mark_skipped(frame.frame_id)
         self.result.num_frames_processed += 1
 
+    def mark_missing(self, frame_id: int) -> None:
+        """Label a frame the scan never saw at all (live shed / feed outage).
+
+        Unlike :meth:`skip_frame` the frame is not accounted as processed:
+        no pipeline ran, nothing was charged.  The grouper records it so any
+        event whose range spans the loss stays labelled via
+        ``Event.skipped_frames``; because nothing observes the frame, runs
+        close by gap exactly as if the source had never delivered it.
+        """
+        if self._grouper is not None:
+            self._grouper.mark_skipped(frame_id)
+
     def mark_interpolated(self, frame_id: int) -> None:
         """Label a frame whose results came from track interpolation.
 
@@ -337,6 +388,37 @@ class PlanStream(QueryStream):
         if self._grouper is None:
             return frame_id + 1
         return self._grouper.end_watermark(frame_id)
+
+    # -- standing-query (live-mode) protocol ------------------------------------
+    def flush_events(self) -> List[Event]:
+        if self._grouper is None:
+            return []
+        self._grouper.finish()
+        return self._grouper.drain()
+
+    def prune_live(self, frame_id: int) -> None:
+        if self.limit is not None:
+            # Bounded streams finalize from result.matches (regroup path);
+            # their history must survive.  Live standing queries are
+            # unbounded, so this guard never bites there.
+            return
+        horizon = frame_id + 1
+        if self._grouper is not None:
+            self._grouper.trim_closed()
+            horizon = min(horizon, self._grouper.start_watermark(frame_id))
+        if self.result.matches:
+            self.result.matches = {
+                fid: records
+                for fid, records in self.result.matches.items()
+                if fid >= horizon
+            }
+        if self.result.matched_frames:
+            self.result.matched_frames = [
+                f for f in self.result.matched_frames if f >= horizon
+            ]
+        # Positional per-frame cost samples cannot be pruned by frame id;
+        # live cost accounting comes from the clock and metrics instead.
+        del self.result.per_frame_ms[:]
 
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         if self.limit is not None:
@@ -428,6 +510,20 @@ class DurationStream(QueryStream):
 
     def min_future_event_end(self, frame_id: int) -> int:
         return self.grouper.end_watermark(frame_id)
+
+    # -- standing-query (live-mode) protocol ------------------------------------
+    def flush_events(self) -> List[Event]:
+        if self.limit is not None:
+            return []
+        self.grouper.finish()
+        return self.grouper.drain()
+
+    def prune_live(self, frame_id: int) -> None:
+        if self.limit is not None:
+            return
+        # The grouper is attached to the base stream, so the base's prune
+        # trims it; the base's own limit is None whenever ours is.
+        self.base.prune_live(frame_id)
 
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         result = self.base.finalize(video, ctx)
@@ -610,6 +706,28 @@ class TemporalStream(QueryStream):
             [self.second.min_future_event_end(frame_id)]
             + [b.end_frame for b in self._second_buf]
         )
+
+    # -- standing-query (live-mode) protocol ------------------------------------
+    def flush_events(self) -> List[Event]:
+        """Flush both children, pair their freshly closed events, drain pairs."""
+        self._ingest(self.first.flush_events(), self.second.flush_events())
+        return self.drain_events()
+
+    def prune_live(self, frame_id: int) -> None:
+        if self.limit is not None:
+            return
+        self.first.prune_live(frame_id)
+        self.second.prune_live(frame_id)
+        # Pairs already handed out via drain_events never pair again; the
+        # formation log only serves bounded finalize, which a standing query
+        # never reaches.  The undrained tail of _pairs mirrors _pending_pairs.
+        if len(self._pairs) > len(self._pending_pairs):
+            del self._pairs[: len(self._pairs) - len(self._pending_pairs)]
+        # The seen-sets only guard finalize-time re-ingest; during live
+        # operation each event is drained exactly once, so entries no longer
+        # buffered are dead.
+        self._seen_first &= set(self._first_buf)
+        self._seen_second &= set(self._second_buf)
 
     def finalize(self, video: SyntheticVideo, ctx: ExecutionContext) -> QueryResult:
         first = self.first.finalize(video, ctx)

@@ -224,6 +224,84 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class LiveConfig:
+    """Live push-driven ingestion knobs (:mod:`repro.backend.live`).
+
+    When enabled, a :class:`~repro.backend.live.LiveSession` keeps standing
+    queries registered against frames arriving from a paced source: events
+    are emitted to alert sinks the moment they close, the ingest queue is
+    hard-capped, and overload sheds *accuracy* before frames — queue-depth
+    pressure drives the scan scheduler's stride coarser, and only past the
+    hard cap are frames dropped (with exact accounting).  Off by default:
+    batch execution never consults this config and is byte-identical.
+    """
+
+    enabled: bool = False
+    #: Hard cap on frames buffered between admission and dispatch (the
+    #: re-order buffer and the ready queue together).  Admitting a frame
+    #: past the cap sheds the oldest undispatched frame.
+    max_buffered_frames: int = 64
+    #: Queue-depth fractions of the cap at which backpressure engages and
+    #: releases: above ``pressure_high`` the pressure stride doubles, below
+    #: ``pressure_low`` it halves back toward 1.
+    pressure_low: float = 0.25
+    pressure_high: float = 0.75
+    #: Ceiling on the stride that queue pressure may force (shedding
+    #: accuracy via interpolation instead of dropping frames).
+    max_pressure_stride: int = 8
+    #: Out-of-order tolerance, in frames: a late frame within this window
+    #: of the newest arrival is re-sequenced; frames at or below the
+    #: dispatch watermark are counted and discarded as late.
+    reorder_window: int = 4
+    #: Virtual ms without any arrival (queue empty, feed not exhausted)
+    #: before the watchdog declares the feed stalled and reconnects.
+    stall_timeout_ms: float = 5000.0
+    #: Reconnect attempts per outage before the session gives up.
+    max_reconnect_attempts: int = 5
+    #: Reconnect backoff: attempt k waits ``base * factor**k`` virtual ms,
+    #: charged to the clock under ``live-reconnect``.
+    reconnect_backoff_base_ms: float = 50.0
+    reconnect_backoff_factor: float = 2.0
+    #: Consecutive failed reconnects that open the feed's circuit breaker.
+    breaker_threshold: int = 3
+    #: Virtual ms an open feed breaker waits before admitting a probe.
+    breaker_cooldown_ms: float = 1000.0
+    #: Bound on alerts retained by the in-memory queue sink (oldest evicted
+    #: first; the eviction count keeps the accounting exact).
+    max_alert_queue: int = 1024
+    #: Prune per-query result state (matches older than every stream's
+    #: event watermark) every N dispatched frames, keeping standing-query
+    #: memory bounded forever.
+    prune_interval_frames: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_buffered_frames < 1:
+            raise ValueError("max_buffered_frames must be >= 1")
+        if not 0.0 <= self.pressure_low <= self.pressure_high <= 1.0:
+            raise ValueError("need 0 <= pressure_low <= pressure_high <= 1")
+        if self.max_pressure_stride < 1:
+            raise ValueError("max_pressure_stride must be >= 1")
+        if self.reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
+        if self.stall_timeout_ms <= 0:
+            raise ValueError("stall_timeout_ms must be positive")
+        if self.max_reconnect_attempts < 0:
+            raise ValueError("max_reconnect_attempts must be >= 0")
+        if self.reconnect_backoff_base_ms < 0:
+            raise ValueError("reconnect_backoff_base_ms must be non-negative")
+        if self.reconnect_backoff_factor < 1.0:
+            raise ValueError("reconnect_backoff_factor must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError("breaker_cooldown_ms must be non-negative")
+        if self.max_alert_queue < 1:
+            raise ValueError("max_alert_queue must be >= 1")
+        if self.prune_interval_frames < 1:
+            raise ValueError("prune_interval_frames must be >= 1")
+
+
+@dataclass(frozen=True)
 class AccuracyTarget:
     """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
 

@@ -10,6 +10,7 @@ generates and compares alternative DAGs (§4.3–§4.4).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Dict
 
 from repro.common.clock import CostProfile
@@ -58,6 +59,55 @@ class ModelZoo(ModelRegistry):
 #: Metadata keys used by the planner: ``kind`` (detector / tracker / property
 #: / filter / classifier / interaction), ``cost_tier`` (1 = cheapest), and
 #: ``nominal_accuracy`` (used before canary profiling refines it).
+
+
+# -- picklable factories ------------------------------------------------------
+# Registered factories travel with the registry into ExecutionContext, so
+# they must pickle for shard-parallel workers (staticcheck SC303): simple
+# seeded constructions are module-level functions partially applied over the
+# zoo seed rather than lambdas.
+def _make_kalman_tracker(seed: int, **kw: Any) -> KalmanTracker:
+    return KalmanTracker(seed=seed, **kw)
+
+
+def _make_iou_tracker(seed: int, **kw: Any) -> IoUTracker:
+    return IoUTracker(seed=seed, **kw)
+
+
+def _make_color_model(seed: int, **kw: Any) -> ColorModel:
+    return ColorModel(seed=seed, **kw)
+
+
+def _make_vehicle_type_model(seed: int, **kw: Any) -> VehicleTypeModel:
+    return VehicleTypeModel(seed=seed, **kw)
+
+
+def _make_license_plate_model(seed: int, **kw: Any) -> LicensePlateModel:
+    return LicensePlateModel(seed=seed, **kw)
+
+
+def _make_feature_vector_model(seed: int, **kw: Any) -> FeatureVectorModel:
+    return FeatureVectorModel(seed=seed, **kw)
+
+
+def _make_direction_estimator(seed: int, **kw: Any) -> DirectionEstimator:
+    return DirectionEstimator(seed=seed, **kw)
+
+
+def _make_speed_estimator(seed: int, **kw: Any) -> SpeedEstimator:
+    return SpeedEstimator(seed=seed, **kw)
+
+
+def _make_action_classifier(seed: int, **kw: Any) -> ActionClassifier:
+    return ActionClassifier(seed=seed, **kw)
+
+
+def _make_interaction_model(seed: int, **kw: Any) -> InteractionModel:
+    return InteractionModel(seed=seed, **kw)
+
+
+def _make_motion_filter(seed: int, **kw: Any) -> MotionFrameFilter:
+    return MotionFrameFilter(seed=seed, **kw)
 
 
 def default_zoo(seed: int = 0) -> ModelZoo:
@@ -117,14 +167,14 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- trackers -------------------------------------------------------------
     zoo.register(
         "kalman_tracker",
-        lambda **kw: KalmanTracker(seed=seed, **kw),
+        partial(_make_kalman_tracker, seed),
         kind="tracker",
         cost_tier=1,
         nominal_accuracy=0.95,
     )
     zoo.register(
         "norfair_tracker",
-        lambda **kw: IoUTracker(seed=seed, **kw),
+        partial(_make_iou_tracker, seed),
         kind="tracker",
         cost_tier=1,
         nominal_accuracy=0.93,
@@ -133,7 +183,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- property models --------------------------------------------------------
     zoo.register(
         "color_detect",
-        lambda **kw: ColorModel(seed=seed, **kw),
+        partial(_make_color_model, seed),
         kind="property",
         attribute="color",
         cost_tier=3,
@@ -141,7 +191,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "type_detect",
-        lambda **kw: VehicleTypeModel(seed=seed, **kw),
+        partial(_make_vehicle_type_model, seed),
         kind="property",
         attribute="vehicle_type",
         cost_tier=3,
@@ -149,7 +199,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "license_plate",
-        lambda **kw: LicensePlateModel(seed=seed, **kw),
+        partial(_make_license_plate_model, seed),
         kind="property",
         attribute="license_plate",
         cost_tier=3,
@@ -157,7 +207,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "reid_feature",
-        lambda **kw: FeatureVectorModel(seed=seed, **kw),
+        partial(_make_feature_vector_model, seed),
         kind="property",
         attribute="feature_vector",
         cost_tier=3,
@@ -165,7 +215,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "direction_estimator",
-        lambda **kw: DirectionEstimator(seed=seed, **kw),
+        partial(_make_direction_estimator, seed),
         kind="property",
         attribute="direction",
         cost_tier=1,
@@ -184,7 +234,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "speed_estimator",
-        lambda **kw: SpeedEstimator(seed=seed, **kw),
+        partial(_make_speed_estimator, seed),
         kind="property",
         attribute="speed",
         cost_tier=1,
@@ -192,7 +242,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "action_recognition",
-        lambda **kw: ActionClassifier(seed=seed, **kw),
+        partial(_make_action_classifier, seed),
         kind="property",
         attribute="action",
         cost_tier=3,
@@ -202,7 +252,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- interaction model --------------------------------------------------------
     zoo.register(
         "upt",
-        lambda **kw: InteractionModel(seed=seed, **kw),
+        partial(_make_interaction_model, seed),
         kind="interaction",
         cost_tier=5,
         nominal_accuracy=0.88,
@@ -211,7 +261,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- frame filters -------------------------------------------------------------
     zoo.register(
         "motion_filter",
-        lambda **kw: MotionFrameFilter(seed=seed, **kw),
+        partial(_make_motion_filter, seed),
         kind="frame_filter",
         cost_tier=1,
         nominal_accuracy=0.99,

@@ -29,6 +29,13 @@ Decision catalog (action / reasons) — see docs/observability.md:
   ``model-unavailable``
 * ``checkpoint-taken`` / ``checkpoint-interval``; ``scan-resumed`` /
   ``crash-recovery``
+* ``frame-shed`` / ``queue-over-cap``
+* ``frame-reordered`` / ``out-of-order-arrival``
+* ``late-frame-dropped`` / ``behind-watermark``, ``duplicate-delivery``
+* ``frame-lost`` / ``feed-outage``
+* ``feed-stalled`` / ``no-arrivals``; ``feed-reconnected`` /
+  ``reconnect-success``
+* ``pressure-stride-raised`` / ``queue-pressure``
 """
 
 from __future__ import annotations

@@ -41,6 +41,8 @@ class ExplainData:
     total_ms: float = 0.0
     decisions: Optional[DecisionLog] = None
     tracer: Optional[Tracer] = None
+    #: LiveStats counters of a live-session run; None for batch executions.
+    live: Optional[Dict[str, Any]] = None
 
 
 def mark_chosen(
@@ -168,6 +170,29 @@ def _fault_section(stats: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _live_section(live: Optional[Dict[str, Any]]) -> List[str]:
+    """Live ingestion accounting; omitted for batch executions."""
+    if live is None:
+        return []
+    lines = ["Live ingestion:"]
+    lines.append(
+        f"  delivered={live.get('frames_delivered', 0)} "
+        f"processed={live.get('frames_processed', 0)} "
+        f"shed={live.get('frames_shed', 0)} "
+        f"late_dropped={live.get('frames_late_dropped', 0)} "
+        f"reordered={live.get('frames_reordered', 0)} "
+        f"lost={live.get('frames_lost', 0)}"
+    )
+    lines.append(
+        f"  peak_buffered={live.get('peak_buffered', 0)} "
+        f"peak_pressure_stride={live.get('peak_pressure_stride', 1)} "
+        f"stalls={live.get('stalls', 0)} "
+        f"reconnects={live.get('reconnects', 0)} "
+        f"alerts={live.get('alerts_emitted', 0)}"
+    )
+    return lines
+
+
 def _decision_section(decisions: Optional[DecisionLog]) -> List[str]:
     lines = ["Decisions:"]
     if decisions is None:
@@ -200,6 +225,10 @@ def render_explain(data: ExplainData) -> str:
     faults = _fault_section(data.scan_stats)
     if faults:
         lines.extend(faults)
+        lines.append("")
+    live = _live_section(data.live)
+    if live:
+        lines.extend(live)
         lines.append("")
     lines.extend(_decision_section(data.decisions))
     return "\n".join(lines)

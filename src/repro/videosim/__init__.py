@@ -21,6 +21,7 @@ from repro.videosim.trajectory import (
     LoiterTrajectory,
     WaypointTrajectory,
 )
+from repro.videosim.livefeed import Delivery, LiveFeed
 from repro.videosim.video import Frame, SyntheticVideo, VideoReader
 from repro.videosim.scene import SceneGenerator, TrafficSceneConfig
 from repro.videosim.multicam import (
@@ -40,6 +41,8 @@ __all__ = [
     "StationaryTrajectory",
     "LoiterTrajectory",
     "WaypointTrajectory",
+    "Delivery",
+    "LiveFeed",
     "Frame",
     "SyntheticVideo",
     "VideoReader",

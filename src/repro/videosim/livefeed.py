@@ -1,0 +1,178 @@
+"""Paced live-feed adapter: push a video's frames along a virtual timeline.
+
+Batch execution pulls frames as fast as the scan can process them; a live
+source pushes them at its own pace, with network latency, jitter, lag
+bursts, out-of-order delivery, duplicates, and mid-stream disconnects.
+:class:`LiveFeed` turns a finite :class:`~repro.videosim.video.SyntheticVideo`
+into such a source on the ``SimClock``'s virtual-ms axis:
+
+* frame ``i`` is *captured* at ``i * 1000 / fps`` virtual ms and *delivered*
+  after a base latency plus deterministic jitter;
+* lag bursts add latency to a frame range (the overload lever: deliveries
+  bunch up behind the burst and arrive together when it ends);
+* a reordered frame is held back past its successors; a duplicated frame is
+  delivered twice;
+* frames captured inside a disconnect window are lost outright, and
+  :meth:`reconnect` fails while the window is still open — driving the live
+  session's watchdog through its retry/backoff + breaker machinery.
+
+Every perturbation is drawn via :func:`~repro.common.rng.stable_uniform`
+keyed by ``(seed, "live", feed, kind, frame)``, the same keyed-draw scheme
+the fault injector uses, so a chaos schedule is a pure function of the seed
+— independent of poll timing, worker count, or interleaving — and composes
+deterministically with :class:`~repro.common.config.FaultConfig` seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.rng import stable_uniform
+from repro.videosim.video import Frame, SyntheticVideo
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One scheduled frame arrival on the virtual timeline."""
+
+    delivery_ms: float
+    capture_ms: float
+    frame_id: int
+    duplicate: bool = False
+
+
+class LiveFeed:
+    """Delivers a video's frames at paced virtual times, with disorder.
+
+    The schedule is fully precomputed at construction (it is a pure function
+    of the constructor arguments), so delivery order and loss accounting are
+    identical however often — or rarely — the consumer polls.
+    """
+
+    def __init__(
+        self,
+        video: SyntheticVideo,
+        fps: Optional[float] = None,
+        seed: int = 0,
+        base_latency_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        lag_bursts: Sequence[Tuple[int, int, float]] = (),
+        reorder_rate: float = 0.0,
+        reorder_delay_ms: Optional[float] = None,
+        duplicate_rate: float = 0.0,
+        disconnects: Sequence[Tuple[float, float]] = (),
+    ) -> None:
+        """``fps`` overrides the video's native rate (ingest pacing);
+        ``lag_bursts`` are ``(first_frame, last_frame, extra_ms)`` ranges;
+        ``disconnects`` are ``(start_ms, end_ms)`` outage windows on the
+        capture timeline; ``reorder_delay_ms`` defaults to 2.5 frame
+        intervals — enough to land a frame behind its two successors.
+        """
+        if fps is not None and fps <= 0:
+            raise ValueError("fps must be positive")
+        for rate_name, rate in (("reorder_rate", reorder_rate), ("duplicate_rate", duplicate_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be a probability in [0, 1]")
+        for start_ms, end_ms in disconnects:
+            if end_ms <= start_ms:
+                raise ValueError("disconnect windows need end_ms > start_ms")
+        self.video = video
+        self.feed = video.spec.name
+        self.fps = float(fps if fps is not None else video.fps)
+        self.interval_ms = 1000.0 / self.fps
+        self.seed = seed
+        self._windows: List[Tuple[float, float]] = sorted(
+            (float(a), float(b)) for a, b in disconnects
+        )
+        if reorder_delay_ms is None:
+            reorder_delay_ms = 2.5 * self.interval_ms
+
+        schedule: List[Delivery] = []
+        #: (capture_ms, frame_id) of frames lost to disconnect windows, not
+        #: yet surfaced by :meth:`lost_before`.
+        self._lost: List[Tuple[float, int]] = []
+        #: Frame ids the schedule holds back past a successor (ground truth
+        #: for the session's ``frames_reordered`` accounting in tests).
+        self.reordered_frame_ids: List[int] = []
+        for fid in range(video.num_frames):
+            capture_ms = fid * self.interval_ms
+            if any(a <= capture_ms < b for a, b in self._windows):
+                self._lost.append((capture_ms, fid))
+                continue
+            latency = base_latency_ms
+            if jitter_ms > 0:
+                latency += jitter_ms * stable_uniform(seed, "live", self.feed, "jitter", fid)
+            for first, last, extra_ms in lag_bursts:
+                if first <= fid <= last:
+                    latency += extra_ms
+            if reorder_rate > 0 and stable_uniform(
+                seed, "live", self.feed, "reorder", fid
+            ) < reorder_rate:
+                latency += reorder_delay_ms
+                self.reordered_frame_ids.append(fid)
+            schedule.append(Delivery(capture_ms + latency, capture_ms, fid))
+            if duplicate_rate > 0 and stable_uniform(
+                seed, "live", self.feed, "duplicate", fid
+            ) < duplicate_rate:
+                schedule.append(
+                    Delivery(capture_ms + latency + self.interval_ms, capture_ms, fid, True)
+                )
+        schedule.sort(key=lambda d: (d.delivery_ms, d.frame_id, d.duplicate))
+        self._schedule = schedule
+        self._cursor = 0
+        self._lost_drained = 0
+        #: Frame objects handed out by :meth:`poll` (duplicates included).
+        self.frames_delivered = 0
+        self.duplicates_delivered = 0
+
+    # ------------------------------------------------------------- delivery --
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled delivery has been handed out."""
+        return self._cursor >= len(self._schedule)
+
+    def next_delivery_ms(self) -> Optional[float]:
+        """Virtual time of the next undelivered arrival (None = exhausted)."""
+        if self.exhausted:
+            return None
+        return self._schedule[self._cursor].delivery_ms
+
+    def poll(self, now_ms: float) -> List[Tuple[Frame, Delivery]]:
+        """All arrivals due at or before ``now_ms``, in delivery order."""
+        out: List[Tuple[Frame, Delivery]] = []
+        while not self.exhausted and self._schedule[self._cursor].delivery_ms <= now_ms:
+            delivery = self._schedule[self._cursor]
+            self._cursor += 1
+            out.append((self.video.frame(delivery.frame_id), delivery))
+            self.frames_delivered += 1
+            if delivery.duplicate:
+                self.duplicates_delivered += 1
+        return out
+
+    # ----------------------------------------------------------- disconnects --
+    def in_outage(self, now_ms: float) -> bool:
+        """True while ``now_ms`` sits inside a disconnect window."""
+        return any(a <= now_ms < b for a, b in self._windows)
+
+    def reconnect(self, now_ms: float) -> bool:
+        """Attempt to re-establish the feed; fails while an outage is open."""
+        return not self.in_outage(now_ms)
+
+    def lost_before(self, now_ms: float) -> List[int]:
+        """Frame ids lost to outages with capture time ≤ ``now_ms`` (drained).
+
+        The consumer labels these as missing (``Event.skipped_frames``) the
+        moment the timeline passes their capture instant; draining keeps the
+        accounting exactly-once.
+        """
+        due = [fid for capture_ms, fid in self._lost if capture_ms <= now_ms]
+        if due:
+            self._lost = [(c, f) for c, f in self._lost if c > now_ms]
+            self._lost_drained += len(due)
+        return due
+
+    @property
+    def frames_lost(self) -> int:
+        """Frames inside disconnect windows (fixed at construction)."""
+        return len(self._lost) + self._lost_drained

@@ -485,3 +485,85 @@ class TestGateAwareCostModel:
         planner.begin_batch([query, FilteredRedCarQuery()])
         plan = planner.plan(query, busy_red_video)
         assert plan.estimated_cost_ms == plan.profiled_cost_ms
+
+
+class NorfairPerson(Person):
+    """Person tracked by the IoU tracker: a distinct (tracker, detector) pair."""
+
+    tracker = "norfair_tracker"
+
+
+class NorfairPersonQuery(Query):
+    def __init__(self):
+        self.person = NorfairPerson("person")
+
+    def frame_constraint(self):
+        return self.person.score > 0.5
+
+    def frame_output(self):
+        return (self.person.track_id,)
+
+
+class TestStrideCohorts:
+    """Per-stream deferral: streams defer by cohort, not by batch consensus."""
+
+    def test_disjoint_pairs_form_separate_cohorts(self, phase_change_video, zoo):
+        config = sampling_config()
+        session = QuerySession(phase_change_video, zoo=zoo, config=config)
+        results = session.execute_many([RedCarQuery(), NorfairPersonQuery()])
+        stats = session.last_scan_stats
+        # The stable car cohort keeps sampling while the person cohort (whose
+        # track births mid-clip) resets: frames processed for one cohort but
+        # deferred for the other are partial deferrals.
+        assert stats["partial_deferrals"] > 0
+        assert stats["peak_stride"] > 1
+        assert results[0].events is not None
+
+    def test_unstable_cohort_does_not_pin_stable_one(self, phase_change_video, zoo):
+        """The stable cohort's detector savings survive the unstable sibling."""
+        config = sampling_config(enable_reuse=False)
+        together = QuerySession(phase_change_video, zoo=zoo, config=config)
+        together.execute_many([RedCarQuery(), NorfairPersonQuery()])
+        assert together.last_scan_stats["frames_deferred"] > 0 or (
+            together.last_scan_stats["partial_deferrals"] > 0
+        )
+        # Results must equal a stride-off run (accuracy preserved per cohort).
+        off = QuerySession(
+            phase_change_video, zoo=zoo,
+            config=PlannerConfig(profile_plans=False, enable_reuse=False),
+        )
+        results_off = off.execute_many([RedCarQuery(), NorfairPersonQuery()])
+        results_on = QuerySession(
+            phase_change_video, zoo=zoo, config=sampling_config(enable_reuse=False)
+        ).execute_many([RedCarQuery(), NorfairPersonQuery()])
+        ranges = lambda r: [(e.start_frame, e.end_frame) for e in r.events]
+        for a, b in zip(results_on, results_off):
+            assert ranges(a) == ranges(b)
+
+    def test_untracked_stream_pins_only_its_own_cohort(self, stable_video, zoo):
+        """An untracked stream no longer disables sampling batch-wide."""
+
+        class UntrackedCarQuery(Query):
+            def __init__(self):
+                self.car = Car("car")
+
+            def frame_constraint(self):
+                return self.car.score > 0.5
+
+            def frame_output(self):
+                return (self.car.bbox,)
+
+        config = sampling_config(enable_reuse=False)
+        session = QuerySession(stable_video, zoo=zoo, config=config)
+        session.execute_many([RedCarQuery(), UntrackedCarQuery()])
+        stats = session.last_scan_stats
+        # The tracked red-car cohort still strides; every one of its
+        # deferrals is partial because the untracked cohort samples on.
+        assert stats["peak_stride"] > 1
+        assert stats["partial_deferrals"] > 0
+        assert stats["frames_deferred"] == 0
+
+    def test_partial_deferrals_round_trip(self):
+        stats = ScanStats(partial_deferrals=7)
+        assert ScanStats.from_dict(stats.as_dict()) == stats
+        assert stats.as_dict()["partial_deferrals"] == 7

@@ -50,7 +50,13 @@ def test_baseline_is_deliberate():
 
 
 def test_known_shard_parallel_debt_is_tracked():
-    """The picklability report names the zoo factory lambdas (shard-parallel gate)."""
+    """The picklability report names the zoo factory lambdas (shard-parallel gate).
+
+    The simple seeded factories became picklable ``partial``s over
+    module-level functions; what remains baselined is the closure-capturing
+    tail (per-name detector configs, f-string filter names).  Those must
+    stay tracked — and the ceiling stops the debt from silently regrowing.
+    """
     baseline = Baseline.load_or_empty(BASELINE_PATH)
     sc303 = [e for e in baseline.entries if e.key.startswith("SC303::models/zoo.py::")]
-    assert len(sc303) >= 15  # the built-in zoo registers ~20 lambda factories
+    assert 1 <= len(sc303) <= 12

@@ -1,0 +1,138 @@
+"""Tests for the paced live-feed adapter (schedule determinism, disorder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import VideoSpec
+from repro.videosim.entities import ObjectSpec
+from repro.videosim.livefeed import LiveFeed
+from repro.videosim.trajectory import LinearTrajectory
+from repro.videosim.video import SyntheticVideo
+
+
+def _video(duration_s: int = 10, fps: int = 10) -> SyntheticVideo:
+    spec = VideoSpec("feedtest", fps=fps, width=640, height=480, duration_s=duration_s)
+    car = ObjectSpec(
+        object_id=1,
+        class_name="car",
+        trajectory=LinearTrajectory((50, 300), (2.0, 0.0)),
+        size=(100, 50),
+        attributes={"color": "red", "vehicle_type": "sedan"},
+    )
+    return SyntheticVideo(spec, [car], seed=7)
+
+
+def _drain(feed: LiveFeed, step_ms: float) -> list:
+    """Poll the feed to exhaustion at a fixed cadence; return deliveries."""
+    out = []
+    now = 0.0
+    while not feed.exhausted:
+        now += step_ms
+        out.extend(d for _, d in feed.poll(now))
+    return out
+
+
+class TestSchedule:
+    def test_in_order_feed_delivers_every_frame_once(self):
+        video = _video()
+        feed = LiveFeed(video)
+        deliveries = _drain(feed, step_ms=50.0)
+        assert [d.frame_id for d in deliveries] == list(range(video.num_frames))
+        assert feed.frames_delivered == video.num_frames
+        assert feed.frames_lost == 0
+
+    def test_schedule_is_poll_granularity_independent(self):
+        kwargs = dict(
+            fps=30, seed=5, jitter_ms=4.0, reorder_rate=0.2, duplicate_rate=0.1
+        )
+        coarse = _drain(LiveFeed(_video(), **kwargs), step_ms=500.0)
+        fine = _drain(LiveFeed(_video(), **kwargs), step_ms=1.0)
+        assert coarse == fine
+
+    def test_same_seed_same_schedule_different_seed_differs(self):
+        kwargs = dict(fps=30, jitter_ms=4.0, reorder_rate=0.3)
+        a = _drain(LiveFeed(_video(), seed=5, **kwargs), step_ms=10.0)
+        b = _drain(LiveFeed(_video(), seed=5, **kwargs), step_ms=10.0)
+        c = _drain(LiveFeed(_video(), seed=6, **kwargs), step_ms=10.0)
+        assert a == b
+        assert [d.frame_id for d in a] != [d.frame_id for d in c]
+
+    def test_reordered_frames_arrive_behind_successors(self):
+        feed = LiveFeed(_video(), seed=5, reorder_rate=0.3)
+        assert feed.reordered_frame_ids, "seed must reorder something"
+        order = [d.frame_id for d in _drain(feed, step_ms=1.0)]
+        reordered = set(feed.reordered_frame_ids)
+        checked = 0
+        for fid in feed.reordered_frame_ids:
+            successor = fid + 1
+            if successor < len(order) and successor not in reordered:
+                assert order.index(fid) > order.index(successor)
+                checked += 1
+        assert checked > 0
+
+    def test_duplicates_are_flagged_and_counted(self):
+        feed = LiveFeed(_video(), seed=5, duplicate_rate=0.2)
+        deliveries = _drain(feed, step_ms=10.0)
+        dups = [d for d in deliveries if d.duplicate]
+        assert dups
+        assert feed.duplicates_delivered == len(dups)
+        originals = {d.frame_id for d in deliveries if not d.duplicate}
+        assert all(d.frame_id in originals for d in dups)
+
+
+class TestDisconnects:
+    def test_frames_in_window_are_lost_not_delivered(self):
+        feed = LiveFeed(_video(), disconnects=[(1000.0, 2000.0)])
+        delivered = {d.frame_id for d in _drain(feed, step_ms=10.0)}
+        lost = set(range(10, 20))  # captures at 1000..1900 ms
+        assert delivered.isdisjoint(lost)
+        assert feed.frames_lost == len(lost)
+
+    def test_reconnect_fails_inside_window_succeeds_after(self):
+        feed = LiveFeed(_video(), disconnects=[(1000.0, 2000.0)])
+        assert feed.reconnect(500.0)
+        assert feed.in_outage(1500.0) and not feed.reconnect(1500.0)
+        assert feed.reconnect(2000.0)
+
+    def test_lost_before_drains_exactly_once(self):
+        feed = LiveFeed(_video(), disconnects=[(1000.0, 2000.0)])
+        first = feed.lost_before(1500.0)
+        assert first == [10, 11, 12, 13, 14, 15]
+        assert feed.lost_before(1500.0) == []
+        rest = feed.lost_before(10_000.0)
+        assert rest == [16, 17, 18, 19]
+        assert feed.frames_lost == 10
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LiveFeed(_video(), disconnects=[(2000.0, 1000.0)])
+        with pytest.raises(ValueError):
+            LiveFeed(_video(), fps=0)
+        with pytest.raises(ValueError):
+            LiveFeed(_video(), reorder_rate=1.5)
+
+
+class TestPacing:
+    def test_lag_burst_bunches_deliveries(self):
+        """Frames in the burst range deliver together when the lag ends."""
+        feed = LiveFeed(_video(), lag_bursts=[(10, 19, 2000.0)])
+        normal = LiveFeed(_video())
+        burst_times = {
+            d.frame_id: d.delivery_ms for d in _drain(feed, step_ms=1.0)
+        }
+        base_times = {
+            d.frame_id: d.delivery_ms for d in _drain(normal, step_ms=1.0)
+        }
+        for fid in range(10, 20):
+            assert burst_times[fid] == base_times[fid] + 2000.0
+        assert burst_times[9] == base_times[9]
+
+    def test_next_delivery_ms_tracks_cursor(self):
+        feed = LiveFeed(_video())
+        assert feed.next_delivery_ms() == 0.0
+        feed.poll(0.0)
+        assert feed.next_delivery_ms() == pytest.approx(100.0)
+        feed.poll(1e9)
+        assert feed.next_delivery_ms() is None
+        assert feed.exhausted
