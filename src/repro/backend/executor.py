@@ -180,6 +180,13 @@ class Executor:
             leaf.result.reuse_hits = ctx.reuse_stats.total_hits
             self._finalize_aggregates(leaf.plan.analysis, leaf.result, video)
         results = [stream.finalize(video, ctx) for stream in streams]
+        if ctx.index is not None:
+            # Post-scan index finalization: track summaries and observed
+            # per-video statistics (stable fraction only when stride
+            # sampling actually measured it).
+            ctx.index.finalize(
+                ctx, observe_stability=self.config.enable_stride_sampling
+            )
         if obs is not None:
             self._attach_explain(results, scheduler, ctx, obs, candidate_reports or {})
         return results
@@ -278,6 +285,7 @@ class Executor:
                 total_ms=result.total_ms,
                 decisions=obs.decisions,
                 tracer=obs.tracer,
+                index=ctx.index.summary() if ctx.index is not None else None,
             )
 
     # ---------------------------------------------------------------- queries --

@@ -22,7 +22,7 @@ data skip re-profiling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.analysis import QueryAnalysis, VariableInfo, analyze_query
 from repro.backend.operators import (
@@ -40,6 +40,7 @@ from repro.backend.plan import QueryPlan
 from repro.common.config import (
     AccuracyTarget,
     FaultConfig,
+    IndexConfig,
     LiveConfig,
     ObsConfig,
     ReidConfig,
@@ -150,6 +151,15 @@ class PlannerConfig:
     #: window, watchdog/reconnect); its ``enabled`` field is overridden by
     #: the switch above.
     live_config: LiveConfig = LiveConfig()
+    #: Persistent video index (:mod:`repro.index`): cache detector outputs,
+    #: frame-filter verdicts, and re-id embeddings per (video, model, model
+    #: version) across sessions, so a re-query over an already-indexed video
+    #: never re-invokes a model on an indexed frame.  Off = no index objects
+    #: are created and execution is byte-identical.
+    enable_video_index: bool = False
+    #: Index tuning (storage path, observed-statistics consumption); its
+    #: ``enabled`` field is overridden by the switch above.
+    index_config: IndexConfig = IndexConfig()
 
     def accuracy(self) -> AccuracyTarget:
         return AccuracyTarget(min_f1=self.accuracy_target)
@@ -187,13 +197,26 @@ class PlannerConfig:
         """The live-ingestion knobs as a LiveConfig."""
         return replace(self.live_config, enabled=self.enable_live)
 
+    def index(self) -> "IndexConfig":
+        """The persistent-video-index knobs as an IndexConfig."""
+        return replace(self.index_config, enabled=self.enable_video_index)
+
 
 class Planner:
     """Builds, optimizes, and selects operator DAGs for queries."""
 
-    def __init__(self, zoo: ModelZoo, config: Optional[PlannerConfig] = None) -> None:
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        config: Optional[PlannerConfig] = None,
+        index_store: Optional[Any] = None,
+    ) -> None:
         self.zoo = zoo
         self.config = config or PlannerConfig()
+        #: The session's persistent video index, when enabled: the cost
+        #: model substitutes a video's *observed* tracker-stable fraction
+        #: for the configured ``stride_stable_fraction`` prior.
+        self._index_store = index_store
         #: query name -> CandidateReport list for the last planned batch
         #: (estimated/profiled costs and the chosen variant), consumed by
         #: ``QueryResult.explain()``.  Populated on every :meth:`plan` exit
@@ -525,13 +548,17 @@ class Planner:
                 shared += breakdown.get(op.model_name, 0.0) * (1.0 - 1.0 / k)
         return shared
 
-    def _stride_detector_discount_ms(self, candidate: QueryPlan, breakdown: Dict[str, float]) -> float:
+    def _stride_detector_discount_ms(
+        self, candidate: QueryPlan, breakdown: Dict[str, float], video: Any = None
+    ) -> float:
         """Expected detector ms that stride sampling will skip for this plan.
 
         Only fully tracked plans can be stride-sampled (skipped frames are
         filled by track interpolation); for them the expected detector rate
-        is ``(1 - s) + s / max_stride`` where ``s`` is the configured prior
-        for the tracker-predictable fraction of the workload.
+        is ``(1 - s) + s / max_stride`` where ``s`` is the tracker-
+        predictable fraction of the workload — the video's *observed*
+        stable fraction when the persistent index has one, the configured
+        prior otherwise.
         """
         cfg = self.config
         if not (cfg.enable_stride_sampling and cfg.enable_gate_aware_costs):
@@ -539,8 +566,30 @@ class Planner:
         if candidate.tracked_detector_pairs() is None:
             return 0.0
         detector_ms = sum(breakdown.get(name, 0.0) for name in candidate.detector_models())
-        saved_fraction = cfg.stride_stable_fraction * (1.0 - 1.0 / max(cfg.max_stride, 1))
+        fraction = cfg.stride_stable_fraction
+        observed = self._observed_stable_fraction(video)
+        if observed is not None:
+            fraction = observed
+        saved_fraction = fraction * (1.0 - 1.0 / max(cfg.max_stride, 1))
         return detector_ms * saved_fraction
+
+    def _observed_stable_fraction(self, video: Any) -> Optional[float]:
+        """The video's indexed stable fraction, when one is trustworthy.
+
+        None — keep the configured prior — unless the persistent index is
+        enabled, opted into observed statistics, and a stride-sampling scan
+        already measured at least ``stats_min_frames`` frames of this video.
+        """
+        if video is None or self._index_store is None:
+            return None
+        index_cfg = self.config.index()
+        if not (index_cfg.enabled and index_cfg.use_observed_stats):
+            return None
+        from repro.index.schema import video_key
+
+        return self._index_store.observed_stable_fraction(
+            video_key(video), min_frames=index_cfg.stats_min_frames
+        )
 
     def _profile_and_select(self, candidates: List[QueryPlan], video, obs=None) -> QueryPlan:
         """Profile candidates on the canary clip and pick the cheapest accurate one.
@@ -577,7 +626,7 @@ class Planner:
             breakdown = dict(ctx.clock.by_account)
             candidate.profiled_cost_ms = ctx.clock.elapsed_ms
             discount = self._gate_shared_filter_ms(candidate, breakdown)
-            discount += self._stride_detector_discount_ms(candidate, breakdown)
+            discount += self._stride_detector_discount_ms(candidate, breakdown, video)
             candidate.estimated_cost_ms = ctx.clock.elapsed_ms - discount
             if discount > 0:
                 candidate.notes.append(

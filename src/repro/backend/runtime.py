@@ -352,6 +352,10 @@ class ExecutionContext:
         #: executor when fault tolerance is enabled; None = every model
         #: invocation runs bare (the default, byte-identical fast path).
         self.faults: Optional[Any] = None
+        #: Persistent-index view (:class:`repro.index.store.IndexView`) set
+        #: by the session when the video index is enabled; None = models are
+        #: always invoked live (the default, byte-identical fast path).
+        self.index: Optional[Any] = None
 
         #: Last *real* (tracker-observed) detection per track id, plus the
         #: frame each track was first seen on.  These survive frame-cache
@@ -360,12 +364,20 @@ class ExecutionContext:
         #: pass through the tracker, so they can never land here.
         self._track_sources: Dict[int, Detection] = {}
         self._track_first_seen: Dict[int, int] = {}
-        #: track id -> the (tracker, detector) pairs that emitted it.  Each
-        #: pair's tracker numbers tracks from 1, so a batch running several
-        #: pairs can reuse the same id for different physical objects; ids
-        #: seen from more than one pair are ambiguous and excluded from
-        #: cross-camera linking.
+        #: track id -> the (tracker, detector) pairs that emitted it.  Global
+        #: ids are allocated per pair (see :meth:`_global_track_id`), so each
+        #: entry holds exactly one pair — the attribution record the
+        #: persistent index and cross-camera linking rely on.
         self._track_id_pairs: Dict[int, set] = {}
+        #: (tracker, detector, tracker-local id) -> batch-global track id.
+        #: Each pair's tracker numbers its tracks from 1, so a batch running
+        #: several pairs would otherwise reuse one id for different physical
+        #: objects.  Globals are allocated sequentially from 1 in first-seen
+        #: order: with a single pair the mapping is the identity (trackers
+        #: also number 1, 2, ... in first-seen order), so single-plan results
+        #: are byte-identical to the pre-namespacing engine.
+        self._track_id_map: Dict[Tuple[str, str, int], int] = {}
+        self._next_global_track_id: int = 1
         #: Frame ids whose detector/tracker caches were interpolation-seeded
         #: by the stride sampler (never detector-observed).
         self.seeded_frames: set = set()
@@ -414,6 +426,15 @@ class ExecutionContext:
     def detect(self, model_name: str, frame: Frame) -> List[Detection]:
         per_frame = self._detections.setdefault(frame.frame_id, {})
         if model_name not in per_frame:
+            index = self.index
+            if index is not None:
+                cached = index.lookup_detections(model_name, frame.frame_id)
+                if cached is not None:
+                    # Served from the persistent index: no model invocation,
+                    # no clock charge — the whole point of indexing.
+                    per_frame[model_name] = cached
+                    return cached
+
             def run() -> List[Detection]:
                 return self.invoke_model(
                     model_name,
@@ -435,7 +456,36 @@ class ExecutionContext:
                 obs.metrics.inc("detector_invocations", model=model_name)
             else:
                 per_frame[model_name] = run()
+            if index is not None and frame.frame_id not in self.seeded_frames:
+                # Write-through as a side effect of scanning.  Seeded frames
+                # never reach here (their caches are pre-populated), but the
+                # guard keeps the provenance contract explicit: synthesized
+                # results must never be persisted as model outputs.
+                index.record_detections(model_name, frame.frame_id, per_frame[model_name])
         return per_frame[model_name]
+
+    def _global_track_id(self, pair: Tuple[str, str], local_id: int) -> int:
+        """Map a tracker-local track id to its batch-global identity.
+
+        Allocated sequentially in first-seen order per ``(tracker, detector)``
+        pair, so ids from different pairs can never collide (the former
+        silent exclusion from cross-camera linking) and every persisted or
+        linked id is attributable to exactly one pair.
+        """
+        key = (pair[0], pair[1], local_id)
+        gid = self._track_id_map.get(key)
+        if gid is None:
+            gid = self._next_global_track_id
+            self._next_global_track_id += 1
+            self._track_id_map[key] = gid
+        return gid
+
+    def _namespace_tracks(self, pair: Tuple[str, str], detections: Sequence[Detection]) -> List[Detection]:
+        """Rewrite tracker-local ids on ``detections`` to batch-global ones."""
+        return [
+            det if det.track_id is None else det.with_track(self._global_track_id(pair, det.track_id))
+            for det in detections
+        ]
 
     def track(self, tracker_name: str, detector_name: str, frame: Frame, detections: Sequence[Detection]) -> List[Detection]:
         per_frame = self._tracked.setdefault(frame.frame_id, {})
@@ -453,10 +503,14 @@ class ExecutionContext:
                     frame=frame.frame_id,
                     kind="tracker",
                 ):
-                    per_frame[key] = tracker.update(list(detections), self.clock)
+                    tracked = tracker.update(list(detections), self.clock)
                 obs.metrics.inc("tracker_invocations", model=tracker_name)
             else:
-                per_frame[key] = tracker.update(list(detections), self.clock)
+                tracked = tracker.update(list(detections), self.clock)
+            # The tracker numbers tracks locally from 1; everything past this
+            # point (results, signatures, re-id, the persistent index) sees
+            # only the namespaced global ids.
+            per_frame[key] = self._namespace_tracks(key, tracked)
             for det in per_frame[key]:
                 if det.track_id is not None:
                     self._track_first_seen.setdefault(det.track_id, frame.frame_id)
@@ -488,10 +542,14 @@ class ExecutionContext:
         tracker.  Existing (real) cached results are never overwritten, so a
         stream that did run models on the frame always wins.
         """
+        # Seeds are built from tracker internals (``Track.last_detection``),
+        # which carry tracker-local ids — namespace them so seeded frames
+        # agree with the global ids the tracked pipeline emits.
+        seeded = self._namespace_tracks(tracker_key, detections)
         per_frame = self._detections.setdefault(frame_id, {})
-        per_frame.setdefault(detector_name, list(detections))
+        per_frame.setdefault(detector_name, seeded)
         tracked = self._tracked.setdefault(frame_id, {})
-        tracked.setdefault(tracker_key, list(detections))
+        tracked.setdefault(tracker_key, list(seeded))
         self.seeded_frames.add(frame_id)
 
     def interactions(self, model_name: str, subject: Detection, object_: Detection, frame: Frame) -> Tuple[str, ...]:
@@ -515,21 +573,32 @@ class ExecutionContext:
         Only tracker-observed detections land here — frames filled by stride
         interpolation are seeded past the tracker and therefore cannot
         contribute a source (re-id must never embed a synthesized crop).
-        Track ids are unique per (tracker, detector) pair; ids a batch saw
-        from several pairs are ambiguous (see :meth:`ambiguous_track_ids`)
-        and here the most recently updated pair wins.
+        Track ids are batch-global (see :meth:`_global_track_id`), so each
+        id belongs to exactly one (tracker, detector) pair.
         """
         return dict(self._track_sources)
 
     def ambiguous_track_ids(self) -> set:
         """Track ids emitted by more than one (tracker, detector) pair.
 
-        Each pair's tracker numbers its tracks independently from 1, so a
-        batch whose plans resolve to different detectors can reuse one id
-        for two different physical objects.  Such ids cannot be attributed
-        to a single object and are excluded from cross-camera linking.
+        Global id allocation makes cross-pair collisions impossible, so this
+        is empty by construction; it remains as a defensive invariant check
+        for cross-camera linking (a non-empty set means the namespacing
+        contract was violated).
         """
         return {tid for tid, pairs in self._track_id_pairs.items() if len(pairs) > 1}
+
+    def track_pair(self, track_id: int) -> Optional[Tuple[str, str]]:
+        """The (tracker, detector) pair that emitted a global track id.
+
+        This is the attribution record the persistent index stores with
+        every track, so indexed identities can be replayed against the
+        right pipeline.  None for unknown ids.
+        """
+        pairs = self._track_id_pairs.get(track_id)
+        if not pairs:
+            return None
+        return next(iter(pairs))
 
     def track_first_seen(self, track_id: int) -> Optional[int]:
         """Frame id a track was first observed on (None for unknown tracks)."""
@@ -604,6 +673,8 @@ class ExecutionContext:
         "_track_sources",
         "_track_first_seen",
         "_track_id_pairs",
+        "_track_id_map",
+        "_next_global_track_id",
         "_detections",
         "_tracked",
         "_trackers",

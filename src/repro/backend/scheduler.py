@@ -252,6 +252,18 @@ class FrameGate:
                 # FrameFilterOp would have, so single-plan cost accounting
                 # (and canary profiling) is unchanged by the hoist.
                 self.ctx.clock.charge("operator_overhead", OPERATOR_OVERHEAD_MS)
+                index = self.ctx.index
+                if index is not None:
+                    cached = index.lookup_filter_verdict(op.model_name, frame.frame_id)
+                    if cached is not None:
+                        # A persisted verdict replaces the filter invocation
+                        # entirely; it memoises like a live evaluation so
+                        # later leaves sharing the filter still hit the memo.
+                        per_frame[op.model_name] = cached
+                        self.stats.gate_cache_hits += 1
+                        if not cached:
+                            return False
+                        continue
                 if self.obs is not None:
                     virt_start = self.ctx.clock.snapshot()
                     with self.obs.tracer.span(
@@ -268,6 +280,8 @@ class FrameGate:
                     decision = self._evaluate(op.model_name, frame)
                 per_frame[op.model_name] = decision
                 self.stats.gate_evaluations += 1
+                if index is not None:
+                    index.record_filter_verdict(op.model_name, frame.frame_id, decision)
             else:
                 self.stats.gate_cache_hits += 1
             if not decision:

@@ -48,6 +48,7 @@ from repro.common.errors import ExecutionError, FeedFailedError, PlanError
 from repro.frontend.higher_order import TemporalQuery
 from repro.frontend.query import Query
 from repro.frontend.registry import get_library_zoo
+from repro.index.store import VideoIndexStore
 from repro.models.zoo import ModelZoo
 from repro.obs.core import Obs
 from repro.obs.trace import Tracer
@@ -62,11 +63,24 @@ class QuerySession:
         video: SyntheticVideo,
         zoo: Optional[ModelZoo] = None,
         config: Optional[PlannerConfig] = None,
+        index_store: Optional[VideoIndexStore] = None,
     ) -> None:
         self.video = video
         self.zoo = zoo or get_library_zoo()
         self.config = config or PlannerConfig()
-        self.planner = Planner(self.zoo, self.config)
+        #: The persistent video index shared by this session's executions.
+        #: ``index_store`` lets several sessions (the feeds of a
+        #: MultiCameraSession, or successive sessions over one corpus)
+        #: share a single store; otherwise an enabled config builds one
+        #: from its path (None path = in-memory, process-lifetime).
+        index_cfg = self.config.index()
+        if index_store is not None:
+            self.index_store: Optional[VideoIndexStore] = index_store
+        elif index_cfg.enabled:
+            self.index_store = VideoIndexStore(index_cfg.path)
+        else:
+            self.index_store = None
+        self.planner = Planner(self.zoo, self.config, index_store=self.index_store)
         self.executor = Executor(self.config)
         #: The context of the most recent single-video execution.
         self.last_context: Optional[ExecutionContext] = None
@@ -129,18 +143,26 @@ class QuerySession:
             own_obs = obs is not None
         self.last_obs = obs
         ctx = self._new_context(clock)
+        if self.index_store is not None:
+            ctx.index = self.index_store.view(self.video, self.zoo, obs=obs)
         self.last_context = ctx
         self.last_multi = None
         queries = list(queries)
         if own_obs:
             with obs.tracer.span("execute-batch", clock=ctx.clock, queries=len(queries)):
-                return self.executor.execute_queries(
+                results = self.executor.execute_queries(
                     queries, self.video, ctx, self.planner,
                     ensure_events=ensure_events, obs=obs,
                 )
-        return self.executor.execute_queries(
-            queries, self.video, ctx, self.planner, ensure_events=ensure_events, obs=obs
-        )
+        else:
+            results = self.executor.execute_queries(
+                queries, self.video, ctx, self.planner, ensure_events=ensure_events, obs=obs
+            )
+        if self.index_store is not None:
+            # Everything the scan learned is already in the store (writes
+            # are a scan side effect); persist it for the next session.
+            self.index_store.save()
+        return results
 
     def execute_over(
         self,
@@ -260,8 +282,17 @@ class MultiCameraSession:
         #: Thread-pool width for per-feed execution; None sizes to the feed
         #: count (capped by the CPU count), 1 forces serial execution.
         self.max_workers = max_workers
+        #: One persistent index shared by every feed (the store's write path
+        #: is locked, so concurrent per-feed scans interleave safely); None
+        #: when the video index is disabled.
+        index_cfg = self.config.index()
+        self.index_store: Optional[VideoIndexStore] = (
+            VideoIndexStore(index_cfg.path) if index_cfg.enabled else None
+        )
         self.sessions: Dict[str, QuerySession] = {
-            name: QuerySession(video, zoo=self.zoo, config=self.config)
+            name: QuerySession(
+                video, zoo=self.zoo, config=self.config, index_store=self.index_store
+            )
             for name, video in feeds.items()
         }
         offsets = dict(start_offsets or {})
@@ -463,6 +494,10 @@ class MultiCameraSession:
         matcher = ReidMatcher(reid_cfg, clock=self.link_clock, obs=obs)
         links = matcher.link(profiles)
         self.last_links = links
+        if self.index_store is not None:
+            # Linking may have embedded tracks the per-feed scans did not;
+            # persist those embeddings for the next session too.
+            self.index_store.save()
         return links
 
     def execute_sequence(self, sequence: CrossCameraSequence) -> List[GlobalEvent]:

@@ -302,6 +302,38 @@ class LiveConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """Persistent video index knobs (:mod:`repro.index`).
+
+    When enabled, every execution consults a :class:`~repro.index.store.
+    VideoIndexStore` before invoking a model on a frame and writes fresh
+    results through as a side effect of scanning: detector outputs,
+    frame-filter verdicts, and re-id embeddings are keyed by ``(video,
+    model, model version)``, so a later session over the same video serves
+    them from the index instead of re-running the model.  The index also
+    records per-video observed statistics (tracker-stable fraction, filter
+    selectivities) that the planner's cost model consumes in place of its
+    configured priors.  Off by default: no index objects are created and
+    execution is byte-identical to an index-free run.
+    """
+
+    enabled: bool = False
+    #: Path of the JSON index file; None keeps the index in memory only
+    #: (shared across executions within the process, never written to disk).
+    path: Optional[str] = None
+    #: Let the planner substitute the video's *observed* tracker-stable
+    #: fraction for the configured ``stride_stable_fraction`` prior.
+    use_observed_stats: bool = True
+    #: Minimum indexed frames before observed statistics are trusted (a
+    #: short canary must not override the prior with a noisy measurement).
+    stats_min_frames: int = 32
+
+    def __post_init__(self) -> None:
+        if self.stats_min_frames < 1:
+            raise ValueError("stats_min_frames must be >= 1")
+
+
+@dataclass(frozen=True)
 class AccuracyTarget:
     """Planner accuracy target (§4.3): minimum acceptable F1 on the canary."""
 

@@ -110,6 +110,79 @@ def _make_motion_filter(seed: int, **kw: Any) -> MotionFrameFilter:
     return MotionFrameFilter(seed=seed, **kw)
 
 
+def _make_yolox(seed: int, **kw: Any) -> GeneralObjectDetector:
+    return GeneralObjectDetector(name="yolox", seed=seed, **kw)
+
+
+def _make_yolov8m(seed: int, **kw: Any) -> GeneralObjectDetector:
+    return GeneralObjectDetector(name="yolov8m", seed=seed + 1, **kw)
+
+
+def _make_dataset_tracks(seed: int, **kw: Any) -> GeneralObjectDetector:
+    return GeneralObjectDetector(
+        name="dataset_tracks",
+        cost_profile=CostProfile(base_ms=0.5, per_item_ms=0.05),
+        miss_rate=0.0,
+        false_positive_rate=0.0,
+        bbox_sigma=0.0,
+        score_range=(0.98, 0.999),
+        seed=seed + 7,
+        **kw,
+    )
+
+
+def _make_yolov5s(seed: int, **kw: Any) -> GeneralObjectDetector:
+    return GeneralObjectDetector(
+        name="yolov5s",
+        cost_profile=GeneralObjectDetector("tmp").cost_profile.scaled(0.25),
+        miss_rate=0.06,
+        seed=seed + 2,
+        **kw,
+    )
+
+
+def _make_direction_classifier(seed: int, **kw: Any) -> DirectionEstimator:
+    return DirectionEstimator(
+        name="direction_classifier", cost_profile=CostProfile(base_ms=8.0), seed=seed, **kw
+    )
+
+
+def _make_texture_filter(seed: int, target_class: str, **kw: Any) -> TextureFrameFilter:
+    return TextureFrameFilter(
+        name=f"texture_{target_class}_filter", target_class=target_class, seed=seed, **kw
+    )
+
+
+def _make_red_car_detector(seed: int, **kw: Any) -> SpecializedDetector:
+    return SpecializedDetector(
+        name="red_car_detector",
+        target_class="car",
+        attribute="color",
+        attribute_value="red",
+        seed=seed,
+        **kw,
+    )
+
+
+def _make_no_red_on_road(seed: int, **kw: Any) -> BinaryClassifier:
+    return BinaryClassifier(
+        name="no_red_on_road",
+        target_class="car",
+        attribute="color",
+        attribute_value="red",
+        seed=seed,
+        **kw,
+    )
+
+
+def _make_person_presence(seed: int, **kw: Any) -> BinaryClassifier:
+    return BinaryClassifier(name="person_presence", target_class="person", seed=seed, **kw)
+
+
+def _make_ball_presence(seed: int, **kw: Any) -> BinaryClassifier:
+    return BinaryClassifier(name="ball_presence", target_class="ball", seed=seed, **kw)
+
+
 def default_zoo(seed: int = 0) -> ModelZoo:
     """Build the default model zoo with every built-in model registered."""
     zoo = ModelZoo()
@@ -117,7 +190,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- general detectors ---------------------------------------------------
     zoo.register(
         "yolox",
-        lambda **kw: GeneralObjectDetector(name="yolox", seed=seed, **kw),
+        partial(_make_yolox, seed),
         kind="detector",
         cost_tier=4,
         nominal_accuracy=0.97,
@@ -125,7 +198,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "yolov8m",
-        lambda **kw: GeneralObjectDetector(name="yolov8m", seed=seed + 1, **kw),
+        partial(_make_yolov8m, seed),
         kind="detector",
         cost_tier=4,
         nominal_accuracy=0.97,
@@ -133,16 +206,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "dataset_tracks",
-        lambda **kw: GeneralObjectDetector(
-            name="dataset_tracks",
-            cost_profile=CostProfile(base_ms=0.5, per_item_ms=0.05),
-            miss_rate=0.0,
-            false_positive_rate=0.0,
-            bbox_sigma=0.0,
-            score_range=(0.98, 0.999),
-            seed=seed + 7,
-            **kw,
-        ),
+        partial(_make_dataset_tracks, seed),
         kind="detector",
         cost_tier=1,
         nominal_accuracy=1.0,
@@ -151,13 +215,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "yolov5s",
-        lambda **kw: GeneralObjectDetector(
-            name="yolov5s",
-            cost_profile=GeneralObjectDetector("tmp").cost_profile.scaled(0.25),
-            miss_rate=0.06,
-            seed=seed + 2,
-            **kw,
-        ),
+        partial(_make_yolov5s, seed),
         kind="detector",
         cost_tier=2,
         nominal_accuracy=0.92,
@@ -223,9 +281,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "direction_classifier",
-        lambda **kw: DirectionEstimator(
-            name="direction_classifier", cost_profile=CostProfile(base_ms=8.0), seed=seed, **kw
-        ),
+        partial(_make_direction_classifier, seed),
         kind="property",
         attribute="direction",
         cost_tier=2,
@@ -269,7 +325,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     for cls in ("car", "person", "ball"):
         zoo.register(
             f"texture_{cls}_filter",
-            lambda target_class=cls, **kw: TextureFrameFilter(name=f"texture_{target_class}_filter", target_class=target_class, seed=seed, **kw),
+            partial(_make_texture_filter, seed, cls),
             kind="frame_filter",
             cost_tier=1,
             nominal_accuracy=0.96,
@@ -279,7 +335,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     # -- specialized NNs / binary classifiers used by the evaluation -----------------
     zoo.register(
         "red_car_detector",
-        lambda **kw: SpecializedDetector(name="red_car_detector", target_class="car", attribute="color", attribute_value="red", seed=seed, **kw),
+        partial(_make_red_car_detector, seed),
         kind="detector",
         cost_tier=2,
         nominal_accuracy=0.90,
@@ -287,7 +343,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "no_red_on_road",
-        lambda **kw: BinaryClassifier(name="no_red_on_road", target_class="car", attribute="color", attribute_value="red", seed=seed, **kw),
+        partial(_make_no_red_on_road, seed),
         kind="binary_classifier",
         cost_tier=1,
         nominal_accuracy=0.94,
@@ -295,7 +351,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "person_presence",
-        lambda **kw: BinaryClassifier(name="person_presence", target_class="person", seed=seed, **kw),
+        partial(_make_person_presence, seed),
         kind="binary_classifier",
         cost_tier=1,
         nominal_accuracy=0.95,
@@ -303,7 +359,7 @@ def default_zoo(seed: int = 0) -> ModelZoo:
     )
     zoo.register(
         "ball_presence",
-        lambda **kw: BinaryClassifier(name="ball_presence", target_class="ball", seed=seed, **kw),
+        partial(_make_ball_presence, seed),
         kind="binary_classifier",
         cost_tier=1,
         nominal_accuracy=0.94,

@@ -43,6 +43,9 @@ class ExplainData:
     tracer: Optional[Tracer] = None
     #: LiveStats counters of a live-session run; None for batch executions.
     live: Optional[Dict[str, Any]] = None
+    #: Persistent-index counters (hits/misses/stale/written); None when the
+    #: video index is disabled.
+    index: Optional[Dict[str, Any]] = None
 
 
 def mark_chosen(
@@ -193,6 +196,20 @@ def _live_section(live: Optional[Dict[str, Any]]) -> List[str]:
     return lines
 
 
+def _index_section(index: Optional[Dict[str, Any]]) -> List[str]:
+    """Persistent-index accounting; omitted when the index is disabled."""
+    if index is None:
+        return []
+    lines = ["Index:"]
+    lines.append(
+        f"  hits={index.get('hits', 0)} "
+        f"misses={index.get('misses', 0)} "
+        f"stale={index.get('stale', 0)} "
+        f"written={index.get('written', 0)}"
+    )
+    return lines
+
+
 def _decision_section(decisions: Optional[DecisionLog]) -> List[str]:
     lines = ["Decisions:"]
     if decisions is None:
@@ -229,6 +246,10 @@ def render_explain(data: ExplainData) -> str:
     live = _live_section(data.live)
     if live:
         lines.extend(live)
+        lines.append("")
+    index = _index_section(data.index)
+    if index:
+        lines.extend(index)
         lines.append("")
     lines.extend(_decision_section(data.decisions))
     return "\n".join(lines)

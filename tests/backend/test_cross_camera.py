@@ -448,10 +448,12 @@ class TestCrossCameraSession:
             for event in a.events:
                 assert event.start_frame in kept and event.end_frame in kept
 
-    def test_cross_pair_track_id_collisions_are_excluded(self, scenario, zoo):
-        """Two plans on different detectors number their tracks from 1
-        independently; those colliding ids cannot be attributed to one
-        physical object and must not be linked."""
+    def test_cross_pair_track_ids_never_collide(self, scenario, zoo):
+        """Two plans on different detectors used to number their tracks from
+        1 independently, so colliding ids were silently excluded from
+        linking; per-pair global namespacing makes that exclusion path
+        unreachable — every id is attributable to exactly one pair, and
+        tracks from both plans participate in linking."""
 
         class FastCar(Car):
             model = "yolov5s"
@@ -472,10 +474,14 @@ class TestCrossCameraSession:
         session.execute_many([CarQuery(), FastCarQuery()])
         links = session.last_links
         for name, feed_session in session.sessions.items():
-            ambiguous = feed_session.last_context.ambiguous_track_ids()
-            assert ambiguous, "both detectors track the same cars from id 1"
-            for profile in links.profiles[name]:
-                assert profile.track_id not in ambiguous
+            ctx = feed_session.last_context
+            assert ctx.ambiguous_track_ids() == set()
+            profile_pairs = {
+                ctx.track_pair(profile.track_id) for profile in links.profiles[name]
+            }
+            assert None not in profile_pairs, "a linked id lost its pair attribution"
+            # Both detector plans' tracks survive into the linking gallery.
+            assert {pair[1] for pair in profile_pairs} == {"yolox", "yolov5s"}
 
     def test_seeded_frame_intrinsics_are_not_reused_as_embeddings(self, scenario, zoo):
         """A cached feature_vector computed over an interpolation-seeded
